@@ -1,0 +1,167 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table/figure reproduction (E1-E14) by running
+   the corresponding simulation and printing its table — the rows
+   EXPERIMENTS.md records.
+
+   Part 2 runs Bechamel micro-benchmarks of the implementation itself:
+   wire codecs, encapsulation, routing lookup, grid selection, and a whole
+   simulated ping through the Mobile IP tunnel path. *)
+
+open Bechamel
+open Toolkit
+
+let addr = Netsim.Ipv4_addr.of_string
+
+(* ---------- micro-benchmark subjects ---------- *)
+
+let sample_packet =
+  Netsim.Ipv4_packet.make ~protocol:Netsim.Ipv4_packet.P_udp
+    ~src:(addr "36.1.0.5") ~dst:(addr "44.2.0.10")
+    (Netsim.Ipv4_packet.Udp
+       (Netsim.Udp_wire.make ~src_port:5000 ~dst_port:9 (Bytes.make 512 'x')))
+
+let sample_wire = Netsim.Ipv4_packet.encode sample_packet
+let buffer_1500 = Bytes.make 1500 '\042'
+
+let routing_table =
+  let table = Netsim.Routing.create () in
+  for i = 0 to 99 do
+    Netsim.Routing.add table
+      ~prefix:
+        (Netsim.Ipv4_addr.Prefix.make
+           (Netsim.Ipv4_addr.of_octets 10 (i mod 256) 0 0)
+           (16 + (i mod 9)))
+      ~iface:(Printf.sprintf "if%d" (i mod 4))
+      ()
+  done;
+  table
+
+let grid_env =
+  {
+    Mobileip.Grid.default_environment with
+    Mobileip.Grid.ch_mobile_aware = true;
+    ch_knows_care_of = true;
+  }
+
+let reg_request =
+  {
+    Mobileip.Registration.home = addr "36.1.0.5";
+    home_agent = addr "36.1.0.2";
+    care_of = addr "131.7.0.100";
+    lifetime = 300;
+    sequence = 42;
+  }
+
+let reg_wire = Mobileip.Registration.encode_request ~key:"secret" reg_request
+
+let tunnel_ping () =
+  (* A complete simulated In-IE ping: build the world, roam, ping through
+     the home agent.  Measures end-to-end simulator throughput. *)
+  let topo = Scenarios.Topo.build () in
+  Scenarios.Topo.roam topo ();
+  let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+  let got = ref false in
+  Transport.Icmp_service.ping icmp ~dst:topo.Scenarios.Topo.mh_home_addr
+    (fun ~rtt:_ -> got := true);
+  Scenarios.Topo.run topo;
+  assert !got
+
+let tcp_transfer ~window () =
+  (* An 8 kB windowed TCP transfer over a 50 ms link, in simulation. *)
+  let net = Netsim.Net.create () in
+  let c = Netsim.Net.add_host net "c" in
+  let s = Netsim.Net.add_host net "s" in
+  let _ =
+    Netsim.Net.p2p net ~latency:0.05
+      ~prefix:(Netsim.Ipv4_addr.Prefix.of_string "10.0.0.0/30")
+      (c, "if0", addr "10.0.0.1") (s, "if0", addr "10.0.0.2")
+  in
+  let tc = Transport.Tcp.get c in
+  let ts = Transport.Tcp.get s in
+  let got = ref 0 in
+  Transport.Tcp.listen ts ~port:80 (fun conn ->
+      Transport.Tcp.on_receive conn (fun d -> got := !got + Bytes.length d));
+  let conn = Transport.Tcp.connect tc ~window ~dst:(addr "10.0.0.2") ~dst_port:80 () in
+  Transport.Tcp.send_data conn (Bytes.make 8192 'b');
+  Netsim.Net.run net;
+  assert (!got = 8192)
+
+let micro_tests =
+  Test.make_grouped ~name:"mobility4x4"
+    [
+      Test.make ~name:"checksum-1500B"
+        (Staged.stage (fun () -> Netsim.Checksum.compute buffer_1500));
+      Test.make ~name:"ipv4-encode-512B"
+        (Staged.stage (fun () -> Netsim.Ipv4_packet.encode sample_packet));
+      Test.make ~name:"ipv4-decode-512B"
+        (Staged.stage (fun () -> Netsim.Ipv4_packet.decode sample_wire));
+      Test.make ~name:"encap-wrap-ipip"
+        (Staged.stage (fun () ->
+             Mobileip.Encap.wrap Mobileip.Encap.Ipip ~src:(addr "131.7.0.100")
+               ~dst:(addr "36.1.0.2") sample_packet));
+      Test.make ~name:"encap-roundtrip-minimal"
+        (Staged.stage (fun () ->
+             Mobileip.Encap.unwrap
+               (Mobileip.Encap.wrap Mobileip.Encap.Minimal
+                  ~src:(addr "131.7.0.100") ~dst:(addr "36.1.0.2")
+                  sample_packet)));
+      Test.make ~name:"routing-lpm-100-routes"
+        (Staged.stage (fun () ->
+             Netsim.Routing.lookup routing_table (addr "10.57.3.9")));
+      Test.make ~name:"grid-best-cell"
+        (Staged.stage (fun () -> Mobileip.Grid.best grid_env));
+      Test.make ~name:"registration-roundtrip"
+        (Staged.stage (fun () ->
+             Mobileip.Registration.decode_request ~key:"secret" reg_wire));
+      Test.make ~name:"fragment-3000B-mtu576"
+        (Staged.stage (fun () ->
+             Netsim.Fragment.fragment ~mtu:576
+               (Netsim.Ipv4_packet.make ~protocol:Netsim.Ipv4_packet.P_udp
+                  ~src:(addr "1.2.3.4") ~dst:(addr "5.6.7.8")
+                  (Netsim.Ipv4_packet.Raw (Bytes.make 3000 'f')))));
+      Test.make ~name:"sim-tunnel-ping-full-world" (Staged.stage tunnel_ping);
+      Test.make ~name:"sim-tcp-8KB-stop-and-wait"
+        (Staged.stage (tcp_transfer ~window:1));
+      Test.make ~name:"sim-tcp-8KB-window-8"
+        (Staged.stage (tcp_transfer ~window:8));
+    ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Format.printf "@.== Bechamel micro-benchmarks (monotonic clock) ==@.";
+  Format.printf "  %-45s %14s %8s@." "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, ols) ->
+      let time =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) ->
+            if t > 1_000_000.0 then Printf.sprintf "%.2f ms" (t /. 1e6)
+            else if t > 1_000.0 then Printf.sprintf "%.2f us" (t /. 1e3)
+            else Printf.sprintf "%.1f ns" t
+        | _ -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      Format.printf "  %-45s %14s %8s@." name time r2)
+    rows
+
+let () =
+  let only_micro = Array.length Sys.argv > 1 && Sys.argv.(1) = "--micro-only" in
+  if not only_micro then begin
+    Format.printf "Internet Mobility 4x4 - experiment reproduction@.";
+    Experiments.Registry.run_all Format.std_formatter
+  end;
+  run_micro ();
+  Format.printf "@.done.@."

@@ -1,0 +1,255 @@
+(* The mobility4x4 command-line tool.
+
+   Subcommands:
+     grid                    print the 4x4 grid with classifications
+     best                    run the series of tests for a described environment
+     experiments [IDS]       run experiment reproductions (default: all)
+     scenario NAME           run a canned scenario with a packet trace
+     list                    list experiments and scenarios *)
+
+open Cmdliner
+
+let out_fmt = Format.std_formatter
+
+(* ---- grid ---- *)
+
+let grid_cmd =
+  let run () =
+    Format.printf "The Internet Mobility 4x4 grid (Figure 10)@.@.";
+    Format.printf "  %-14s" "";
+    List.iter
+      (fun o -> Format.printf " %-10s" (Mobileip.Grid.out_to_string o))
+      Mobileip.Grid.all_out;
+    Format.printf "@.";
+    List.iter
+      (fun i ->
+        Format.printf "  %-14s" (Mobileip.Grid.in_to_string i);
+        List.iter
+          (fun o ->
+            let c = { Mobileip.Grid.incoming = i; outgoing = o } in
+            let cls =
+              match Mobileip.Grid.classify c with
+              | Mobileip.Grid.Useful -> "USEFUL"
+              | Mobileip.Grid.Valid_but_unlikely -> "unlikely"
+              | Mobileip.Grid.Broken -> "-"
+            in
+            Format.printf " %-10s" cls)
+          Mobileip.Grid.all_out;
+        Format.printf "@.")
+      Mobileip.Grid.all_in;
+    Format.printf "@.Cells:@.";
+    List.iter
+      (fun c ->
+        if Mobileip.Grid.classify c <> Mobileip.Grid.Broken then
+          Format.printf "  %-14s %s@."
+            (Mobileip.Grid.cell_to_string c)
+            (Mobileip.Grid.describe_cell c))
+      Mobileip.Grid.all_cells
+  in
+  Cmd.v (Cmd.info "grid" ~doc:"Print the 4x4 grid and its classification")
+    Term.(const run $ const ())
+
+(* ---- best ---- *)
+
+let best_cmd =
+  let mobility =
+    Arg.(value & opt bool true & info [ "mobility" ] ~doc:"Durable connections needed")
+  in
+  let privacy =
+    Arg.(value & flag & info [ "privacy" ] ~doc:"Hide the current location")
+  in
+  let filtering =
+    Arg.(
+      value & opt bool true
+      & info [ "filtering" ] ~doc:"Source-address filtering on the path")
+  in
+  let decap =
+    Arg.(value & flag & info [ "decap" ] ~doc:"Correspondent can decapsulate")
+  in
+  let aware =
+    Arg.(value & flag & info [ "aware" ] ~doc:"Correspondent is mobile-aware")
+  in
+  let knows =
+    Arg.(
+      value & flag
+      & info [ "knows-care-of" ] ~doc:"Correspondent knows the care-of address")
+  in
+  let segment =
+    Arg.(value & flag & info [ "same-segment" ] ~doc:"Hosts share a segment")
+  in
+  let run mobility privacy filtering decap aware knows segment =
+    let env =
+      {
+        Mobileip.Grid.mobility_required = mobility;
+        privacy_required = privacy;
+        source_filtering_on_path = filtering;
+        ch_decapsulates = decap;
+        ch_mobile_aware = aware;
+        ch_knows_care_of = knows;
+        same_segment = segment;
+      }
+    in
+    let cell = Mobileip.Grid.best env in
+    Format.printf "best cell: %s@." (Mobileip.Grid.cell_to_string cell);
+    Format.printf "  incoming: %s@." (Mobileip.Grid.describe_in cell.Mobileip.Grid.incoming);
+    Format.printf "  outgoing: %s@." (Mobileip.Grid.describe_out cell.Mobileip.Grid.outgoing);
+    Format.printf "  why: %s@." (Mobileip.Grid.describe_cell cell)
+  in
+  Cmd.v
+    (Cmd.info "best"
+       ~doc:"Run the series of tests that picks the best cell for an environment")
+    Term.(const run $ mobility $ privacy $ filtering $ decap $ aware $ knows $ segment)
+
+(* ---- experiments ---- *)
+
+let experiments_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E14)")
+  in
+  let run ids =
+    match ids with
+    | [] ->
+        Experiments.Registry.run_all out_fmt;
+        `Ok ()
+    | ids ->
+        let bad =
+          List.filter (fun id -> not (Experiments.Registry.run_one out_fmt id)) ids
+        in
+        if bad = [] then `Ok ()
+        else `Error (false, "unknown experiment(s): " ^ String.concat ", " bad)
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Reproduce the paper's figures and claims")
+    Term.(ret (const run $ ids))
+
+(* ---- scenario ---- *)
+
+let scenarios : (string * string * (unit -> unit)) list =
+  let trace_world topo f =
+    Scenarios.Topo.roam topo ();
+    Netsim.Trace.clear (Netsim.Net.trace topo.Scenarios.Topo.net);
+    f ();
+    Scenarios.Topo.run topo;
+    Netsim.Trace.dump out_fmt (Netsim.Net.trace topo.Scenarios.Topo.net)
+  in
+  [
+    ( "basic-tunnel",
+      "Figure 1: a conventional correspondent pings the roaming mobile host",
+      fun () ->
+        let topo = Scenarios.Topo.build () in
+        trace_world topo (fun () ->
+            let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+            Transport.Icmp_service.ping icmp
+              ~dst:topo.Scenarios.Topo.mh_home_addr (fun ~rtt ->
+                Format.printf "rtt: %s@." (Experiments.Table.ms rtt))) );
+    ( "filtered",
+      "Figure 2/3: filtering kills Out-DH, reverse tunneling recovers",
+      fun () ->
+        let topo =
+          Scenarios.Topo.build ~ch_position:Scenarios.Topo.Inside_home
+            ~filtering:Scenarios.Topo.ingress_only ()
+        in
+        trace_world topo (fun () ->
+            Mobileip.Mobile_host.set_default_method topo.Scenarios.Topo.mh
+              Mobileip.Grid.Out_DH;
+            let udp = Transport.Udp_service.get topo.Scenarios.Topo.mh_node in
+            ignore
+              (Transport.Udp_service.send udp
+                 ~src:topo.Scenarios.Topo.mh_home_addr
+                 ~dst:topo.Scenarios.Topo.ch_addr ~src_port:5000 ~dst_port:9
+                 (Bytes.of_string "dropped-by-filter"))) );
+    ( "smart-ch",
+      "Figure 5: ICMP discovery switches the correspondent to In-DE",
+      fun () ->
+        let topo =
+          Scenarios.Topo.build
+            ~ch_capability:Mobileip.Correspondent.Mobile_aware
+            ~notify_correspondents:true ()
+        in
+        trace_world topo (fun () ->
+            let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+            Transport.Icmp_service.ping icmp
+              ~dst:topo.Scenarios.Topo.mh_home_addr (fun ~rtt ->
+                Format.printf "first rtt: %s@." (Experiments.Table.ms rtt);
+                Transport.Icmp_service.ping icmp
+                  ~dst:topo.Scenarios.Topo.mh_home_addr (fun ~rtt ->
+                    Format.printf "second rtt: %s@." (Experiments.Table.ms rtt)))) );
+  ]
+
+let scenario_cmd =
+  let scenario_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Scenario name")
+  in
+  let run name =
+    match List.find_opt (fun (n, _, _) -> n = name) scenarios with
+    | Some (_, _, f) ->
+        f ();
+        `Ok ()
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown scenario %S; try: %s" name
+              (String.concat ", " (List.map (fun (n, _, _) -> n) scenarios)) )
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a canned scenario and dump its packet trace")
+    Term.(ret (const run $ scenario_arg))
+
+let rules_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Policy rules file (prefix mode lines)")
+  in
+  let dst =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"ADDR" ~doc:"Destination address to look up")
+  in
+  let run file dst =
+    match Netsim.Ipv4_addr.of_string_opt dst with
+    | None -> `Error (false, Printf.sprintf "bad address %S" dst)
+    | Some addr -> (
+        let text =
+          let ic = open_in file in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+        in
+        match Mobileip.Policy_table.of_string text with
+        | Error e -> `Error (false, e)
+        | Ok table ->
+            let mode = Mobileip.Policy_table.mode_for table addr in
+            Format.printf "%s -> %a (start with %s)@." dst
+              Mobileip.Policy_table.pp_mode mode
+              (match mode with
+              | Mobileip.Policy_table.Optimistic -> "Out-DH, fall back on failure"
+              | Mobileip.Policy_table.Pessimistic -> "Out-IE, always");
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "rules"
+       ~doc:"Look up a destination in a user policy-rules file (section 7.1.2)")
+    Term.(ret (const run $ file $ dst))
+
+let list_cmd =
+  let run () =
+    Format.printf "experiments:@.";
+    List.iter
+      (fun (id, doc, _) -> Format.printf "  %-5s %s@." id doc)
+      Experiments.Registry.all;
+    Format.printf "scenarios:@.";
+    List.iter (fun (n, doc, _) -> Format.printf "  %-14s %s@." n doc) scenarios
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiments and scenarios")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "mobility4x4" ~version:"1.0.0"
+      ~doc:"Internet Mobility 4x4 (Cheshire & Baker, SIGCOMM '96) in simulation"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ grid_cmd; best_cmd; experiments_cmd; scenario_cmd; rules_cmd;
+            list_cmd ]))

@@ -1,0 +1,58 @@
+(* Visiting another institution (paper §5 In-DH: "the best choice when
+   visiting another institution and connecting to their network to access
+   data or services on that network ... the benefit of avoiding
+   communicating through the home agent can be significant, especially if
+   the visited institution is in Japan and the home agent is at MIT").
+
+   The mobile host visits a campus and talks to a server on the very
+   segment it plugged into.  A mobile-aware local server delivers to the
+   home address in a single link-layer hop (In-DH); the mobile host
+   replies directly (Out-DH).  No packet crosses a single router.
+
+   Run with: dune exec examples/campus_visit.exe *)
+
+let () =
+  (* The home network is 8 backbone hops away — "at MIT". *)
+  let topo =
+    Scenarios.Topo.build ~backbone_hops:8
+      ~ch_position:Scenarios.Topo.On_visited_segment
+      ~ch_capability:Mobileip.Correspondent.Mobile_aware
+      ~notify_correspondents:true ()
+  in
+  Scenarios.Topo.roam topo ();
+  let net = topo.Scenarios.Topo.net in
+  let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+
+  (* First contact goes the long way (via the home agent) and teaches the
+     server where the mobile host really is. *)
+  Transport.Icmp_service.ping icmp ~dst:topo.Scenarios.Topo.mh_home_addr
+    (fun ~rtt ->
+      Format.printf "first exchange (via home agent): %.1f ms@." (rtt *. 1000.));
+  Netsim.Net.run net;
+
+  (* Now the server knows the care-of address is a neighbour: In-DH. *)
+  Format.printf "server's delivery method now: %s@."
+    (Mobileip.Grid.in_to_string
+       (Mobileip.Correspondent.in_method_for topo.Scenarios.Topo.ch
+          ~dst:topo.Scenarios.Topo.mh_home_addr));
+  Transport.Icmp_service.ping icmp ~dst:topo.Scenarios.Topo.mh_home_addr
+    (fun ~rtt ->
+      Format.printf "second exchange (single link-layer hop): %.1f ms@."
+        (rtt *. 1000.));
+  Netsim.Net.run net;
+
+  (* And an actual file transfer stays on the segment. *)
+  Scenarios.Workload.tcp_echo_server topo.Scenarios.Topo.ch_node ~port:Transport.Well_known.nfs;
+  let stats =
+    Scenarios.Workload.tcp_echo_session ~net ~client:topo.Scenarios.Topo.mh_node
+      ~server_addr:topo.Scenarios.Topo.ch_addr ~port:Transport.Well_known.nfs
+      ~src:topo.Scenarios.Topo.mh_home_addr ~messages:10 ~spacing:0.05
+      ~message_size:512 ()
+  in
+  Format.printf
+    "NFS-ish session on the local segment: %d/10 echoed in %.2f s, %d \
+     retransmissions@."
+    stats.Scenarios.Workload.messages_echoed stats.Scenarios.Workload.elapsed
+    stats.Scenarios.Workload.client_retransmissions;
+  Format.printf "packets through the home agent during the session: %d@."
+    (Mobileip.Home_agent.packets_tunneled topo.Scenarios.Topo.ha)

@@ -1,0 +1,65 @@
+(* Attaching through a foreign agent (paper §2, §5).
+
+   The visited network provides an IETF-style foreign agent instead of
+   DHCP: the mobile host keeps its home address, discovers the agent from
+   its broadcast advertisements, registers through it, and receives
+   packets that the home agent tunnels to the FA, which delivers the last
+   hop link-layer-direct (In-DH).  As the paper notes, this convenience
+   costs the mobile host its freedom to pick per-packet optimizations.
+
+   Run with: dune exec examples/foreign_agent_visit.exe *)
+
+open Netsim
+
+let a = Ipv4_addr.of_string
+
+let () =
+  let topo = Scenarios.Topo.build () in
+  (* The visited network operates a foreign agent (a router on the
+     segment). *)
+  let fa_node = Net.add_router topo.Scenarios.Topo.net "fa" in
+  let fa_iface =
+    Net.attach fa_node topo.Scenarios.Topo.visited_segment ~ifname:"lan"
+      ~addr:(a "131.7.0.3") ~prefix:topo.Scenarios.Topo.visited_prefix
+  in
+  Routing.add_default (Net.routing fa_node) ~gateway:(a "131.7.0.1")
+    ~iface:"lan";
+  let fa =
+    Mobileip.Foreign_agent.create fa_node ~iface:fa_iface ~advert_interval:1.0 ()
+  in
+
+  (* The arriving mobile host listens for an agent advertisement, then
+     registers through the agent it found. *)
+  let mh = topo.Scenarios.Topo.mh in
+  Mobileip.Foreign_agent.on_advert topo.Scenarios.Topo.mh_node
+    (fun ~fa_addr ->
+      Format.printf "heard agent advertisement from %s@."
+        (Ipv4_addr.to_string fa_addr);
+      Mobileip.Mobile_host.move_to_foreign_agent mh
+        topo.Scenarios.Topo.visited_segment ~fa_addr
+        ~on_registered:(fun ok ->
+          Format.printf "registration relayed through the FA: %s@."
+            (if ok then "accepted" else "FAILED"))
+        ());
+  (* Join the segment so the advertisement can be heard. *)
+  Net.reattach
+    (Option.get (Net.find_iface topo.Scenarios.Topo.mh_node "eth0"))
+    topo.Scenarios.Topo.visited_segment;
+  Scenarios.Topo.run topo;
+
+  Format.printf "care-of address (= the FA): %s; visitors at the FA: %d@."
+    (match Mobileip.Mobile_host.care_of_address mh with
+    | Some c -> Ipv4_addr.to_string c
+    | None -> "-")
+    (List.length (Mobileip.Foreign_agent.visitors fa));
+
+  (* A correspondent pings the home address: HA tunnel -> FA -> one
+     link-layer hop. *)
+  let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+  Transport.Icmp_service.ping icmp ~dst:topo.Scenarios.Topo.mh_home_addr
+    (fun ~rtt -> Format.printf "ping via HA and FA: %.1f ms@." (rtt *. 1000.));
+  Scenarios.Topo.run topo;
+  Format.printf "final-hop deliveries performed by the FA: %d@."
+    (Mobileip.Foreign_agent.packets_delivered fa);
+  Format.printf "note: via_foreign_agent=%b -- per-packet optimizations are off@."
+    (Mobileip.Mobile_host.via_foreign_agent mh)

@@ -1,0 +1,63 @@
+(* Location privacy (paper §4, Out-IE motivation: "mobile users may not
+   wish to reveal their current location to the correspondent host.  In
+   these cases, sending all outgoing packets indirectly via the home agent
+   may be the method the user wants, even when other more efficient
+   alternatives are also available").
+
+   The mobile host roams right next to the correspondent.  Without privacy
+   mode the selector would happily go direct; with privacy mode on, every
+   packet detours through the distant home agent and the correspondent
+   only ever sees the home address.
+
+   Run with: dune exec examples/privacy_roaming.exe *)
+
+open Netsim
+
+let observed_sources = ref []
+
+let () =
+  let topo =
+    Scenarios.Topo.build ~backbone_hops:6
+      ~ch_position:Scenarios.Topo.Near_visited ()
+  in
+  Scenarios.Topo.roam topo ();
+  let mh = topo.Scenarios.Topo.mh in
+
+  (* The correspondent records every source address it ever sees. *)
+  Net.set_delivery_observer topo.Scenarios.Topo.ch_node
+    (Some
+       (fun pkt ->
+         let s = Ipv4_addr.to_string pkt.Ipv4_packet.src in
+         if not (List.mem s !observed_sources) then
+           observed_sources := s :: !observed_sources));
+
+  let chat () =
+    let udp = Transport.Udp_service.get topo.Scenarios.Topo.mh_node in
+    for i = 0 to 4 do
+      ignore
+        (Transport.Udp_service.send udp
+           ~src:(Mobileip.Mobile_host.home_address mh)
+           ~dst:topo.Scenarios.Topo.ch_addr ~src_port:(6000 + i) ~dst_port:9
+           (Bytes.of_string "confidential whereabouts"))
+    done;
+    Scenarios.Topo.run topo
+  in
+
+  Mobileip.Mobile_host.set_privacy mh true;
+  Format.printf "privacy mode: %b@." (Mobileip.Mobile_host.privacy mh);
+  Format.printf "method used toward the correspondent: %s@."
+    (Mobileip.Grid.out_to_string
+       (Mobileip.Mobile_host.out_method_for mh ~dst:topo.Scenarios.Topo.ch_addr));
+  chat ();
+  Format.printf "source addresses the correspondent observed: %s@."
+    (String.concat ", " !observed_sources);
+  Format.printf "home agent relays (reverse tunnel): %d@."
+    (Mobileip.Home_agent.packets_reverse_tunneled topo.Scenarios.Topo.ha);
+  let coa =
+    Ipv4_addr.to_string
+      (Option.get (Mobileip.Mobile_host.care_of_address mh))
+  in
+  assert (not (List.mem coa !observed_sources));
+  Format.printf "the care-of address %s never appeared on the wire at the \
+                 correspondent.@."
+    coa

@@ -1,0 +1,58 @@
+(* A smart correspondent (paper §3.2, Figure 5): both care-of discovery
+   mechanisms in action.
+
+   Host A learns the mobile host's location from the ICMP advertisement
+   the home agent sends as it forwards the first packet.  Host B looks the
+   mobile host up in the extended DNS, where the roaming host published a
+   temporary-address record, and never touches the home agent at all.
+
+   Run with: dune exec examples/smart_correspondent.exe *)
+
+let () =
+  let topo =
+    Scenarios.Topo.build ~ch_capability:Mobileip.Correspondent.Mobile_aware
+      ~notify_correspondents:true ~with_dns:true ()
+  in
+  Scenarios.Topo.roam topo ();
+  let net = topo.Scenarios.Topo.net in
+  let home = topo.Scenarios.Topo.mh_home_addr in
+  let dns = Option.get topo.Scenarios.Topo.dns_addr in
+
+  (* --- mechanism 1: ICMP care-of advertisements --- *)
+  Format.printf "--- ICMP discovery ---@.";
+  let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+  Transport.Icmp_service.ping icmp ~dst:home (fun ~rtt ->
+      Format.printf "ping 1 (via home agent):  %.1f ms@." (rtt *. 1000.));
+  Netsim.Net.run net;
+  Format.printf "adverts received by correspondent: %d@."
+    (Mobileip.Correspondent.adverts_received topo.Scenarios.Topo.ch);
+  Transport.Icmp_service.ping icmp ~dst:home (fun ~rtt ->
+      Format.printf "ping 2 (In-DE direct):    %.1f ms@." (rtt *. 1000.));
+  Netsim.Net.run net;
+
+  (* --- mechanism 2: DNS temporary records --- *)
+  Format.printf "--- DNS discovery ---@.";
+  (* The mobile host, settled at the visited network, publishes. *)
+  let published =
+    Mobileip.Discovery.publish_care_of topo.Scenarios.Topo.mh ~dns_server:dns
+      ~name:"mh.home" ()
+  in
+  Format.printf "mobile host published its temporary record: %b@." published;
+  Netsim.Net.run net;
+  (* A second correspondent resolves before its first packet. *)
+  Mobileip.Discovery.discover_via_dns topo.Scenarios.Topo.ch ~dns_server:dns
+    ~name:"mh.home"
+    ~on_result:(fun ~learned ->
+      Format.printf "resolver saw a temporary record: %b@." learned)
+    ();
+  Netsim.Net.run net;
+  (match
+     Mobileip.Correspondent.cached_care_of topo.Scenarios.Topo.ch ~home
+   with
+  | Some coa ->
+      Format.printf "binding cache now maps %s -> %s@."
+        (Netsim.Ipv4_addr.to_string home)
+        (Netsim.Ipv4_addr.to_string coa)
+  | None -> Format.printf "no binding (unexpected)@.");
+  Format.printf "packets tunneled by the home agent in total: %d@."
+    (Mobileip.Home_agent.packets_tunneled topo.Scenarios.Topo.ha)

@@ -1,0 +1,5 @@
+(** A1 - section 4 ablation: loose source routing vs encapsulation. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

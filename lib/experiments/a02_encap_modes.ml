@@ -1,0 +1,66 @@
+(* A2 — §2/§3.3 ablation: the choice of encapsulation format.
+
+   The paper notes the 20-byte IP-in-IP overhead "can be minimized by use
+   of Generic Routing Encapsulation or Minimal Encapsulation".  This
+   ablation runs the same In-IE delivery under each mode and reports the
+   end-to-end cost, plus how the fragmentation window (E9) moves. *)
+
+open Netsim
+
+let probe ~mode ~payload =
+  let topo = Scenarios.Topo.build ~encap:mode () in
+  Scenarios.Topo.roam topo ();
+  let net = topo.Scenarios.Topo.net in
+  Common.fresh_trace net;
+  let ch_udp = Transport.Udp_service.get topo.Scenarios.Topo.ch_node in
+  let flow =
+    Transport.Udp_service.send ch_udp ~dst:topo.Scenarios.Topo.mh_home_addr
+      ~src_port:46000 ~dst_port:9 (Bytes.make payload 'a')
+  in
+  Net.run net;
+  Common.cost_of_flow net ~flow ~target:"mh"
+
+let run () =
+  let rows =
+    List.concat_map
+      (fun mode ->
+        let small = probe ~mode ~payload:512 in
+        (* 1460 + 28 = 1488: fits plain; 1488 + overhead may not. *)
+        let near_mtu = probe ~mode ~payload:1460 in
+        [
+          [
+            Mobileip.Encap.mode_to_string mode;
+            string_of_int (Mobileip.Encap.overhead mode);
+            string_of_int small.Common.wire_bytes;
+            Table.opt_ms small.Common.latency;
+            string_of_int near_mtu.Common.hops;
+            (if near_mtu.Common.delivered then "yes" else "NO");
+          ];
+        ])
+      Mobileip.Encap.all_modes
+  in
+  {
+    Table.id = "A2";
+    title = "Sections 2/3.3 ablation - encapsulation formats on the In-IE path";
+    paper_claim =
+      "IP-in-IP costs 20 bytes per packet; minimal encapsulation and GRE \
+       trade that overhead differently";
+    columns =
+      [
+        "mode";
+        "overhead B";
+        "wire bytes (512B payload)";
+        "latency";
+        "hops (1460B payload)";
+        "delivered";
+      ];
+    rows;
+    notes =
+      [
+        "the 1460-byte payload becomes a 1488-byte plain packet: +20 \
+         (ipip) or +24 (gre) exceeds the 1500-byte MTU and fragments on \
+         the tunneled leg (hence the extra hops), while minimal \
+         encapsulation's +12 still fits — the smaller header does not just \
+         save bytes, it narrows E9's packet-doubling window";
+      ];
+  }

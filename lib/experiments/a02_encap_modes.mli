@@ -1,0 +1,5 @@
+(** A2 - sections 2/3.3 ablation: encapsulation formats. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

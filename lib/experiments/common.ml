@@ -1,0 +1,42 @@
+open Netsim
+
+type flow_cost = {
+  delivered : bool;
+  hops : int;
+  wire_bytes : int;
+  latency : float option;
+}
+
+let cost_of_flow net ~flow ~target =
+  let trace = Net.trace net in
+  let latency =
+    match
+      (Trace.send_time trace ~flow, Trace.delivery_time trace ~flow ~node:target)
+    with
+    | Some t0, Some t1 -> Some (t1 -. t0)
+    | _ -> None
+  in
+  {
+    delivered = Trace.delivered trace ~flow ~node:target;
+    hops = Trace.transmissions trace ~flow;
+    wire_bytes = Trace.wire_bytes trace ~flow;
+    latency;
+  }
+
+let ping_once net ~from_node ~dst =
+  let icmp = Transport.Icmp_service.get from_node in
+  let got = ref None in
+  Transport.Icmp_service.ping icmp ~dst (fun ~rtt -> got := Some rtt);
+  Net.run net;
+  !got
+
+let udp_probe net ~from_node ?src ~dst ?(size = 64) ~port () =
+  let udp = Transport.Udp_service.get from_node in
+  let flow =
+    Transport.Udp_service.send udp ?src ~dst ~src_port:40000 ~dst_port:port
+      (Bytes.make size 'p')
+  in
+  Net.run net;
+  flow
+
+let fresh_trace net = Trace.clear (Net.trace net)

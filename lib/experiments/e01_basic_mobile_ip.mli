@@ -1,0 +1,5 @@
+(** E1 - Figure 1: basic Mobile IP, asymmetric paths. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

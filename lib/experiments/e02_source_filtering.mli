@@ -1,0 +1,5 @@
+(** E2 - Figure 2: source-address filtering kills plain replies. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

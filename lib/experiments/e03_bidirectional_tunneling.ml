@@ -1,0 +1,53 @@
+(* E3 — Figure 3: bi-directional tunneling restores deliverability under
+   filtering, at a quantified cost in distance and bytes. *)
+
+open Netsim
+
+let measure topo ~out_method =
+  let net = topo.Scenarios.Topo.net in
+  Common.fresh_trace net;
+  Mobileip.Mobile_host.set_default_method topo.Scenarios.Topo.mh out_method;
+  let mh_udp = Transport.Udp_service.get topo.Scenarios.Topo.mh_node in
+  let flow =
+    Transport.Udp_service.send mh_udp ~src:topo.Scenarios.Topo.mh_home_addr
+      ~dst:topo.Scenarios.Topo.ch_addr ~src_port:41100 ~dst_port:9
+      (Bytes.make 512 'y')
+  in
+  Net.run net;
+  Common.cost_of_flow net ~flow ~target:"ch"
+
+let run () =
+  let topo =
+    Scenarios.Topo.build ~ch_position:Scenarios.Topo.Inside_home
+      ~filtering:Scenarios.Topo.ingress_only ()
+  in
+  Scenarios.Topo.roam topo ();
+  let dh = measure topo ~out_method:Mobileip.Grid.Out_DH in
+  let ie = measure topo ~out_method:Mobileip.Grid.Out_IE in
+  let row name (c : Common.flow_cost) =
+    [
+      name;
+      (if c.Common.delivered then "yes" else "NO");
+      string_of_int c.Common.hops;
+      string_of_int c.Common.wire_bytes;
+      Table.opt_ms c.Common.latency;
+    ]
+  in
+  {
+    Table.id = "E3";
+    title = "Figure 3 - bi-directional tunneling (512-byte datagram MH->CH)";
+    paper_claim =
+      "tunneling outgoing packets via the home agent protects them from \
+       scrutiny by routers; this lengthens the path but meets the \
+       deliverability requirement";
+    columns = [ "method"; "delivered"; "hops"; "wire bytes"; "latency" ];
+    rows = [ row "Out-DH (filtered away)" dh; row "Out-IE (via home agent)" ie ];
+    notes =
+      [
+        Printf.sprintf
+          "reverse tunneling costs %d extra link traversals and %d extra \
+           wire bytes on this topology, but delivery goes from 0%% to 100%%"
+          (ie.Common.hops - dh.Common.hops)
+          (ie.Common.wire_bytes - dh.Common.wire_bytes);
+      ];
+  }

@@ -1,0 +1,5 @@
+(** E3 - Figure 3: bi-directional tunneling restores delivery. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

@@ -1,0 +1,5 @@
+(** E4 - Figure 4: the triangle-routing penalty vs distance to home. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

@@ -1,0 +1,5 @@
+(** E5 - Figure 5: a smart correspondent goes direct after discovery. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

@@ -1,0 +1,5 @@
+(** E6 - Figures 6/7: outgoing packet formats and overheads. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

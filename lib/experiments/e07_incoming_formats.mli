@@ -1,0 +1,5 @@
+(** E7 - Figures 8/9: incoming packet formats and overheads. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

@@ -1,0 +1,5 @@
+(** E8 - Figure 10: the 4x4 grid measured on live packets. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

@@ -1,0 +1,5 @@
+(** E9 - section 3.3: encapsulation vs MTU, the packet-doubling window. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

@@ -1,0 +1,5 @@
+(** E10 - section 7.1.2: delivery-method selection strategies. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

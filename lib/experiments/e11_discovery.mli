@@ -1,0 +1,5 @@
+(** E11 - section 3.2: ICMP vs DNS care-of discovery. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

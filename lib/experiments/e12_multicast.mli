@@ -1,0 +1,5 @@
+(** E12 - section 6.4: multicast membership via home vs local. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

@@ -1,0 +1,5 @@
+(** E13 - section 6: the series of tests, validated live. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

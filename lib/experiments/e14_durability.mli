@@ -1,0 +1,5 @@
+(** E14 - section 2: connection durability across movement. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

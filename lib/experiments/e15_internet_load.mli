@@ -1,0 +1,5 @@
+(** E15 - section 3.2: load on shared Internet resources. *)
+
+val run : unit -> Table.t
+(** Build the experiment's world(s), run the measurement, and return the
+    result table. *)

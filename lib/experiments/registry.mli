@@ -1,0 +1,13 @@
+(** The experiment registry: every table/figure reproduction, in paper
+    order.  [run_all] executes each experiment (fresh simulated world per
+    experiment) and renders its table. *)
+
+val all : (string * string * (unit -> Table.t)) list
+(** (id, one-line description, runner). *)
+
+val find : string -> (unit -> Table.t) option
+(** Look up by id, case-insensitive ("e8" or "E8"). *)
+
+val run_all : Format.formatter -> unit
+val run_one : Format.formatter -> string -> bool
+(** False when the id is unknown. *)

@@ -1,0 +1,41 @@
+type t = {
+  id : string;
+  title : string;
+  paper_claim : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let f1 x = Printf.sprintf "%.1f" x
+let ms x = Printf.sprintf "%.1fms" (x *. 1000.0)
+let opt_ms = function Some x -> ms x | None -> "-"
+
+let pct num den =
+  if den = 0 then "-" else Printf.sprintf "%d%%" (num * 100 / den)
+
+let render fmt t =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length t.columns)
+      t.rows
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row row =
+    let cells = List.map2 pad row widths in
+    Format.fprintf fmt "  | %s |@." (String.concat " | " cells)
+  in
+  let rule () =
+    let bars = List.map (fun w -> String.make (w + 2) '-') widths in
+    Format.fprintf fmt "  +%s+@." (String.concat "+" bars)
+  in
+  Format.fprintf fmt "@.== %s: %s ==@." t.id t.title;
+  Format.fprintf fmt "  paper: %s@." t.paper_claim;
+  rule ();
+  render_row t.columns;
+  rule ();
+  List.iter render_row t.rows;
+  rule ();
+  List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) t.notes

@@ -1,0 +1,26 @@
+(** Result tables for the paper-reproduction experiments.
+
+    Every experiment produces one of these; the bench harness and the CLI
+    render them identically, and EXPERIMENTS.md records them. *)
+
+type t = {
+  id : string;  (** "E1" .. "E14" *)
+  title : string;
+  paper_claim : string;  (** what the paper asserts, in one sentence *)
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val render : Format.formatter -> t -> unit
+(** Fixed-width ASCII rendering with header, claim and notes. *)
+
+val f1 : float -> string
+(** One decimal place. *)
+
+val ms : float -> string
+(** Seconds rendered as milliseconds, one decimal. *)
+
+val opt_ms : float option -> string
+val pct : int -> int -> string
+(** [pct num den] as "100%". *)

@@ -1,0 +1,287 @@
+open Netsim
+
+type t = {
+  ha_node : Net.node;
+  home_iface : Net.iface;
+  auth_key : string;
+  encap : Encap.mode;
+  notify_correspondents : bool;
+  notify_interval : float;
+  max_lifetime : int;
+  mutable binding_table : Types.binding list;
+  last_notified : (Ipv4_addr.t, float) Hashtbl.t;
+  mutable tunneled : int;
+  mutable reverse_tunneled : int;
+  mutable accepted : int;
+  mutable denied : int;
+  mutable next_tunnel_ident : int;
+  mutable mcast_subs : (Ipv4_addr.t * Ipv4_addr.t) list;
+      (* (group, subscriber home address) *)
+  mutable mcast_relayed : int;
+}
+
+let node t = t.ha_node
+let address t = Net.iface_addr t.home_iface
+let bindings t = t.binding_table
+
+let packets_tunneled t = t.tunneled
+let packets_reverse_tunneled t = t.reverse_tunneled
+let registrations_accepted t = t.accepted
+let registrations_denied t = t.denied
+
+let tunnel_ident t =
+  let i = t.next_tunnel_ident in
+  t.next_tunnel_ident <- (if i >= 0xffff then 1 else i + 1);
+  i
+
+let remove_binding t home =
+  t.binding_table <-
+    List.filter
+      (fun b -> not (Ipv4_addr.equal b.Types.home home))
+      t.binding_table;
+  Net.unclaim_address t.ha_node home;
+  Net.remove_proxy_arp t.ha_node t.home_iface home
+
+(* Expiry is lazy: an expired binding stops matching the moment it is next
+   consulted, and its proxy-ARP/claim state is torn down then.  (A timer
+   would force the event queue to run out to the expiry instant, making
+   every full simulation drain jump hundreds of simulated seconds.) *)
+let binding_for t home =
+  let now = Net.node_now t.ha_node in
+  match
+    List.find_opt (fun b -> Ipv4_addr.equal b.Types.home home) t.binding_table
+  with
+  | Some b when Types.binding_valid ~now b -> Some b
+  | Some _ ->
+      remove_binding t home;
+      None
+  | None -> None
+
+let install_binding t (b : Types.binding) =
+  t.binding_table <-
+    b
+    :: List.filter
+         (fun o -> not (Ipv4_addr.equal o.Types.home b.Types.home))
+         t.binding_table;
+  Net.claim_address t.ha_node b.Types.home;
+  Net.add_proxy_arp t.ha_node t.home_iface b.Types.home;
+  (* Update caches of hosts and routers on the home segment so traffic for
+     the mobile host now reaches us (gratuitous proxy ARP, RFC 1027). *)
+  Net.gratuitous_arp t.ha_node t.home_iface b.Types.home
+
+let handle_registration t udp (dgram : Transport.Udp_service.datagram) =
+  match Registration.decode_request ~key:t.auth_key dgram.payload with
+  | Error _ ->
+      t.denied <- t.denied + 1;
+      let reply =
+        {
+          Registration.r_home = Ipv4_addr.any;
+          r_care_of = Ipv4_addr.any;
+          r_lifetime = 0;
+          r_sequence = 0;
+          r_code = Types.Reg_denied_auth;
+        }
+      in
+      ignore
+        (Transport.Udp_service.send udp ~src:dgram.dst ~dst:dgram.src
+           ~src_port:Transport.Well_known.mip_registration
+           ~dst_port:dgram.src_port
+           (Registration.encode_reply ~key:t.auth_key reply))
+  | Ok req ->
+      (* A retransmitted request (same sequence, same care-of) is
+         idempotent: the reply may have been lost and the mobile host is
+         retrying.  Only genuinely old sequences — or replays naming a
+         different care-of address — are stale. *)
+      let stale =
+        List.exists
+          (fun b ->
+            Ipv4_addr.equal b.Types.home req.Registration.home
+            && (b.Types.sequence > req.Registration.sequence
+               || (b.Types.sequence = req.Registration.sequence
+                  && not
+                       (Ipv4_addr.equal b.Types.care_of
+                          req.Registration.care_of))))
+          t.binding_table
+      in
+      let code, granted =
+        if stale then (Types.Reg_denied_stale, 0)
+        else (Types.Reg_accepted, min req.Registration.lifetime t.max_lifetime)
+      in
+      (if not stale then
+         if req.Registration.lifetime = 0 then begin
+           t.accepted <- t.accepted + 1;
+           remove_binding t req.Registration.home
+         end
+         else begin
+           t.accepted <- t.accepted + 1;
+           install_binding t
+             {
+               Types.home = req.Registration.home;
+               care_of = req.Registration.care_of;
+               lifetime = float_of_int granted;
+               registered_at = Net.node_now t.ha_node;
+               sequence = req.Registration.sequence;
+             }
+         end
+       else t.denied <- t.denied + 1);
+      let reply =
+        {
+          Registration.r_home = req.Registration.home;
+          r_care_of = req.Registration.care_of;
+          r_lifetime = granted;
+          r_sequence = req.Registration.sequence;
+          r_code = code;
+        }
+      in
+      ignore
+        (Transport.Udp_service.send udp ~src:dgram.dst ~dst:dgram.src
+           ~src_port:Transport.Well_known.mip_registration
+           ~dst_port:dgram.src_port
+           (Registration.encode_reply ~key:t.auth_key reply))
+
+let maybe_notify t ~correspondent (b : Types.binding) =
+  if
+    t.notify_correspondents
+    && not (Ipv4_addr.equal correspondent b.Types.care_of)
+  then begin
+    let now = Net.node_now t.ha_node in
+    let due =
+      match Hashtbl.find_opt t.last_notified correspondent with
+      | Some last -> now -. last >= t.notify_interval
+      | None -> true
+    in
+    if due then begin
+      Hashtbl.replace t.last_notified correspondent now;
+      let icmp = Transport.Icmp_service.get t.ha_node in
+      let remaining =
+        int_of_float (Types.binding_expires_at b -. now)
+      in
+      Transport.Icmp_service.send_care_of_advert icmp ~src:(address t)
+        ~dst:correspondent ~home:b.Types.home ~care_of:b.Types.care_of
+        ~lifetime:(max 1 remaining)
+    end
+  end
+
+(* Intercept: runs on every packet the node would deliver locally.
+   Two captures matter:
+   - packets addressed to a bound home address: tunnel them (In-IE);
+   - tunnel packets addressed to us whose inner source is a bound home
+     address: reverse tunneling (Out-IE) — decapsulate and re-send the
+     inner packet from the home network. *)
+let relay_multicast t ~flow (pkt : Ipv4_packet.t) =
+  let group = pkt.Ipv4_packet.dst in
+  let subscribers =
+    List.filter_map
+      (fun (g, home) -> if Ipv4_addr.equal g group then Some home else None)
+      t.mcast_subs
+  in
+  List.iter
+    (fun home ->
+      match binding_for t home with
+      | None -> ()
+      | Some b ->
+          let outer =
+            Encap.wrap t.encap ~src:(address t) ~dst:b.Types.care_of
+              ~ident:(tunnel_ident t) pkt
+          in
+          t.mcast_relayed <- t.mcast_relayed + 1;
+          Trace.record
+            (Net.trace (Net.node_net t.ha_node))
+            ~time:(Net.node_now t.ha_node)
+            (Trace.Encapsulate
+               {
+                 node = Net.node_name t.ha_node;
+                 frame = { Trace.id = 0; flow; pkt = outer };
+               });
+          ignore (Net.send t.ha_node ~flow outer))
+    subscribers;
+  subscribers <> []
+
+let intercept t ~flow (pkt : Ipv4_packet.t) =
+  if Ipv4_addr.is_multicast pkt.Ipv4_packet.dst then
+    relay_multicast t ~flow pkt
+  else
+  match binding_for t pkt.Ipv4_packet.dst with
+  | Some b ->
+      let outer =
+        Encap.wrap t.encap ~src:(address t) ~dst:b.Types.care_of
+          ~ident:(tunnel_ident t) pkt
+      in
+      t.tunneled <- t.tunneled + 1;
+      Trace.record (Net.trace (Net.node_net t.ha_node))
+        ~time:(Net.node_now t.ha_node)
+        (Trace.Encapsulate
+           {
+             node = Net.node_name t.ha_node;
+             frame = { Trace.id = 0; flow; pkt = outer };
+           });
+      ignore (Net.send t.ha_node ~flow outer);
+      maybe_notify t ~correspondent:pkt.Ipv4_packet.src b;
+      true
+  | None -> (
+      if not (Ipv4_addr.equal pkt.Ipv4_packet.dst (address t)) then false
+      else
+        match Encap.unwrap pkt with
+        | None -> false
+        | Some (_, inner) -> (
+            match binding_for t inner.Ipv4_packet.src with
+            | None ->
+                (* Tunnel from an unregistered source: refuse to relay
+                   (otherwise we would be an open packet reflector). *)
+                false
+            | Some _ ->
+                t.reverse_tunneled <- t.reverse_tunneled + 1;
+                Trace.record
+                  (Net.trace (Net.node_net t.ha_node))
+                  ~time:(Net.node_now t.ha_node)
+                  (Trace.Decapsulate
+                     {
+                       node = Net.node_name t.ha_node;
+                       frame = { Trace.id = 0; flow; pkt = inner };
+                     });
+                ignore (Net.send t.ha_node ~flow inner);
+                true))
+
+let create ha_node ~home_iface ?(auth_key = "secret") ?(encap = Encap.Ipip)
+    ?(notify_correspondents = false) ?(notify_interval = 30.0)
+    ?(max_lifetime = 600) () =
+  let t =
+    {
+      ha_node;
+      home_iface;
+      auth_key;
+      encap;
+      notify_correspondents;
+      notify_interval;
+      max_lifetime;
+      binding_table = [];
+      last_notified = Hashtbl.create 8;
+      tunneled = 0;
+      reverse_tunneled = 0;
+      accepted = 0;
+      denied = 0;
+      next_tunnel_ident = 1;
+      mcast_subs = [];
+      mcast_relayed = 0;
+    }
+  in
+  let udp = Transport.Udp_service.get ha_node in
+  Transport.Udp_service.listen udp ~port:Transport.Well_known.mip_registration
+    (fun svc dgram -> handle_registration t svc dgram);
+  Net.set_intercept ha_node (Some (fun ~flow pkt -> intercept t ~flow pkt));
+  (* Ensure ICMP service exists so we can answer pings and send adverts. *)
+  let (_ : Transport.Icmp_service.t) = Transport.Icmp_service.get ha_node in
+  t
+
+let subscribe_multicast t ~group ~home =
+  Net.join_group t.ha_node t.home_iface group;
+  if not (List.mem (group, home) t.mcast_subs) then
+    t.mcast_subs <- (group, home) :: t.mcast_subs
+
+let unsubscribe_multicast t ~group ~home =
+  t.mcast_subs <-
+    List.filter (fun sub -> sub <> (group, home)) t.mcast_subs;
+  if not (List.exists (fun (g, _) -> Ipv4_addr.equal g group) t.mcast_subs)
+  then Net.leave_group t.ha_node t.home_iface group
+
+let multicast_packets_relayed t = t.mcast_relayed

@@ -1,0 +1,68 @@
+(** The home agent (paper §2): "a machine on the mobile host's home network
+    that acts as a proxy on behalf of the mobile host for the duration of
+    its absence".
+
+    Responsibilities implemented here:
+
+    - accept authenticated registration requests on UDP 434 and maintain
+      the binding table, expiring bindings when their lifetime lapses;
+    - capture packets addressed to an absent mobile host using
+      {e gratuitous proxy ARP} (RFC 1027) on the home segment, plus address
+      claiming so the simulator delivers them to us;
+    - tunnel captured packets to the registered care-of address (In-IE,
+      Figure 1);
+    - {e reverse tunneling}: decapsulate packets the mobile host sent to us
+      (Out-IE, Figure 3) and re-send the inner packet — from the home
+      network, so boundary filters accept it;
+    - optionally answer each forwarded packet with an ICMP care-of
+      advertisement to the packet's source (§3.2 discovery mechanism 1),
+      rate-limited per correspondent. *)
+
+type t
+
+val create :
+  Netsim.Net.node ->
+  home_iface:Netsim.Net.iface ->
+  ?auth_key:string ->
+  ?encap:Encap.mode ->
+  ?notify_correspondents:bool ->
+  ?notify_interval:float ->
+  ?max_lifetime:int ->
+  unit ->
+  t
+(** Attach home-agent behaviour to a node.  [home_iface] is the interface
+    on the home segment where proxy ARP is performed.  Defaults: key
+    ["secret"], IP-in-IP encapsulation, no ICMP notifications, notification
+    interval 30 s, maximum granted lifetime 600 s. *)
+
+val node : t -> Netsim.Net.node
+val address : t -> Netsim.Ipv4_addr.t
+(** The home agent's own address (its home-segment interface address). *)
+
+val bindings : t -> Types.binding list
+val binding_for : t -> Netsim.Ipv4_addr.t -> Types.binding option
+(** Current valid binding for a home address. *)
+
+val packets_tunneled : t -> int
+(** In-IE forwards performed. *)
+
+val packets_reverse_tunneled : t -> int
+(** Out-IE decapsulations performed. *)
+
+val registrations_accepted : t -> int
+val registrations_denied : t -> int
+
+(** {1 Multicast relay (§6.4)} *)
+
+val subscribe_multicast :
+  t -> group:Netsim.Ipv4_addr.t -> home:Netsim.Ipv4_addr.t -> unit
+(** Join the group on the home segment on behalf of the (away) mobile host
+    with the given home address, and tunnel each received group packet to
+    its care-of address — the "virtual interface on its distant home
+    network" membership whose waste §6.4 argues against.
+    @raise Invalid_argument if [group] is not a multicast address. *)
+
+val unsubscribe_multicast :
+  t -> group:Netsim.Ipv4_addr.t -> home:Netsim.Ipv4_addr.t -> unit
+
+val multicast_packets_relayed : t -> int

@@ -1,0 +1,171 @@
+open Netsim
+
+type strategy =
+  | Conservative_first
+  | Aggressive_first
+  | Rule_based of Policy_table.t
+
+let pp_strategy fmt s =
+  Format.pp_print_string fmt
+    (match s with
+    | Conservative_first -> "conservative-first"
+    | Aggressive_first -> "aggressive-first"
+    | Rule_based _ -> "rule-based")
+
+type event = Original_received | Retransmission_detected
+
+(* The ladder, least to most aggressive.  Out-IE is the floor: it is the
+   one method that can be relied upon to work (§4). *)
+let ladder = Grid.[ Out_IE; Out_DE; Out_DH ]
+
+let ladder_index m =
+  let rec go i = function
+    | [] -> invalid_arg "Selector: Out_DT has no ladder position"
+    | x :: rest -> if Grid.equal_out x m then i else go (i + 1) rest
+  in
+  go 0 ladder
+
+type dst_state = {
+  mutable current : Grid.out_method;
+  mutable successes : int;
+  mutable failures : int;
+  mutable switch_count : int;
+  mutable failed : Grid.out_method list;
+  mutable probing_enabled : bool;
+      (* false = pinned (pessimistic rule): never escalate *)
+}
+
+type t = {
+  strat : strategy;
+  escalate_after : int;
+  fallback_after : int;
+  table : (Ipv4_addr.t, dst_state) Hashtbl.t;
+}
+
+let create ?(escalate_after = 4) ?(fallback_after = 2) strat =
+  if escalate_after < 1 || fallback_after < 1 then
+    invalid_arg "Selector.create: thresholds must be positive";
+  { strat; escalate_after; fallback_after; table = Hashtbl.create 16 }
+
+let strategy t = t.strat
+
+let initial_state t dst =
+  match t.strat with
+  | Conservative_first ->
+      {
+        current = Grid.Out_IE;
+        successes = 0;
+        failures = 0;
+        switch_count = 0;
+        failed = [];
+        probing_enabled = true;
+      }
+  | Aggressive_first ->
+      {
+        current = Grid.Out_DH;
+        successes = 0;
+        failures = 0;
+        switch_count = 0;
+        failed = [];
+        probing_enabled = false;
+        (* fall back only; never re-escalate past a failure *)
+      }
+  | Rule_based table -> (
+      match Policy_table.mode_for table dst with
+      | Policy_table.Optimistic ->
+          {
+            current = Grid.Out_DH;
+            successes = 0;
+            failures = 0;
+            switch_count = 0;
+            failed = [];
+            probing_enabled = false;
+          }
+      | Policy_table.Pessimistic ->
+          (* The rule says this region always needs the conservative
+             method: pin it. *)
+          {
+            current = Grid.Out_IE;
+            successes = 0;
+            failures = 0;
+            switch_count = 0;
+            failed = [];
+            probing_enabled = false;
+          })
+
+let state_for t dst =
+  match Hashtbl.find_opt t.table dst with
+  | Some s -> s
+  | None ->
+      let s = initial_state t dst in
+      Hashtbl.add t.table dst s;
+      s
+
+let method_for t dst = (state_for t dst).current
+
+let usable s m = not (List.exists (Grid.equal_out m) s.failed)
+
+(* The next usable method strictly above [s.current] — escalation is
+   stepwise ("tentatively try each of the more aggressive options",
+   §7.1.2), skipping only methods already proven to fail. *)
+let next_above s =
+  let cur = ladder_index s.current in
+  List.find_opt (fun m -> ladder_index m > cur && usable s m) ladder
+
+(* The most aggressive usable method strictly below [s.current]
+   (falling back toward Out-IE). *)
+let next_below s =
+  let cur = ladder_index s.current in
+  let candidates =
+    List.filter (fun m -> ladder_index m < cur && usable s m) ladder
+  in
+  match List.rev candidates with m :: _ -> Some m | [] -> None
+
+let report t ~dst ev =
+  let s = state_for t dst in
+  match ev with
+  | Original_received ->
+      s.failures <- 0;
+      s.successes <- s.successes + 1;
+      if s.probing_enabled && s.successes >= t.escalate_after then begin
+        match next_above s with
+        | Some m ->
+            s.current <- m;
+            s.successes <- 0;
+            s.switch_count <- s.switch_count + 1
+        | None -> ()
+      end
+  | Retransmission_detected -> (
+      s.successes <- 0;
+      s.failures <- s.failures + 1;
+      if s.failures >= t.fallback_after then begin
+        s.failures <- 0;
+        if not (Grid.equal_out s.current Grid.Out_IE) then begin
+          s.failed <- s.current :: s.failed;
+          match next_below s with
+          | Some m ->
+              s.current <- m;
+              s.switch_count <- s.switch_count + 1
+          | None ->
+              s.current <- Grid.Out_IE;
+              s.switch_count <- s.switch_count + 1
+        end
+      end)
+
+let switches t ~dst =
+  match Hashtbl.find_opt t.table dst with
+  | Some s -> s.switch_count
+  | None -> 0
+
+let failed_methods t ~dst =
+  match Hashtbl.find_opt t.table dst with Some s -> s.failed | None -> []
+
+let converged t ~dst =
+  match Hashtbl.find_opt t.table dst with
+  | None -> false
+  | Some s ->
+      s.successes >= t.escalate_after
+      && ((not s.probing_enabled) || next_above s = None)
+
+let reset t ~dst = Hashtbl.remove t.table dst
+let reset_all t = Hashtbl.reset t.table

@@ -1,0 +1,34 @@
+type binding = {
+  home : Netsim.Ipv4_addr.t;
+  care_of : Netsim.Ipv4_addr.t;
+  lifetime : float;
+  registered_at : float;
+  sequence : int;
+}
+
+let binding_expires_at b = b.registered_at +. b.lifetime
+let binding_valid ~now b = now < binding_expires_at b
+
+let pp_binding fmt b =
+  Format.fprintf fmt "%a@%a life=%.0fs seq=%d" Netsim.Ipv4_addr.pp b.home
+    Netsim.Ipv4_addr.pp b.care_of b.lifetime b.sequence
+
+type reg_code = Reg_accepted | Reg_denied_auth | Reg_denied_stale
+
+let reg_code_to_int = function
+  | Reg_accepted -> 0
+  | Reg_denied_auth -> 1
+  | Reg_denied_stale -> 2
+
+let reg_code_of_int = function
+  | 0 -> Some Reg_accepted
+  | 1 -> Some Reg_denied_auth
+  | 2 -> Some Reg_denied_stale
+  | _ -> None
+
+let pp_reg_code fmt c =
+  Format.pp_print_string fmt
+    (match c with
+    | Reg_accepted -> "accepted"
+    | Reg_denied_auth -> "denied-authentication"
+    | Reg_denied_stale -> "denied-stale-sequence")

@@ -1,0 +1,32 @@
+let fold_carries sum =
+  let rec loop s = if s > 0xffff then loop ((s land 0xffff) + (s lsr 16)) else s in
+  loop sum
+
+let ones_complement_sum ?(initial = 0) buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Checksum.ones_complement_sum: range out of bounds";
+  let sum = ref initial in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + (Char.code (Bytes.get buf !i) lsl 8)
+           + Char.code (Bytes.get buf (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get buf !i) lsl 8);
+  fold_carries !sum
+
+let finish sum = lnot (fold_carries sum) land 0xffff
+let compute buf = finish (ones_complement_sum buf 0 (Bytes.length buf))
+let compute_sub buf off len = finish (ones_complement_sum buf off len)
+
+let pseudo_header_sum ~src ~dst ~protocol ~length =
+  let word32 a =
+    let x = Ipv4_addr.to_int32 a in
+    (Int32.to_int (Int32.shift_right_logical x 16) land 0xffff)
+    + (Int32.to_int x land 0xffff)
+  in
+  fold_carries (word32 src + word32 dst + protocol + length)
+
+let valid buf =
+  fold_carries (ones_complement_sum buf 0 (Bytes.length buf)) = 0xffff

@@ -1,0 +1,46 @@
+type t = { queue : (unit -> unit) Pqueue.t; mutable clock : float }
+
+let create () = { queue = Pqueue.create (); clock = 0.0 }
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at t.clock);
+  Pqueue.add t.queue ~priority:at f
+
+let after t delay f =
+  if delay < 0.0 then invalid_arg "Engine.after: negative delay";
+  schedule t ~at:(t.clock +. delay) f
+
+let cancellable_after t delay f =
+  let cancelled = ref false in
+  after t delay (fun () -> if not !cancelled then f ());
+  fun () -> cancelled := true
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+      t.clock <- at;
+      f ();
+      true
+
+let run ?until ?(max_events = 10_000_000) t =
+  let events = ref 0 in
+  let continue = ref true in
+  while !continue && !events < max_events do
+    match Pqueue.peek t.queue with
+    | None -> continue := false
+    | Some (at, _) -> (
+        match until with
+        | Some limit when at > limit ->
+            t.clock <- limit;
+            continue := false
+        | _ ->
+            ignore (step t);
+            incr events)
+  done
+
+let pending t = Pqueue.length t.queue
+let clear t = Pqueue.clear t.queue

@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    Time is a float in seconds.  Events are closures scheduled at absolute or
+    relative times; [run] drains the queue in timestamp order (FIFO among
+    simultaneous events, so the simulation is deterministic).
+
+    Every simulated network ({!Net}) owns one engine; link transmission,
+    protocol timers (TCP retransmission, registration lifetimes, binding
+    cache TTLs) are all engine events. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time in seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs [f] at absolute time [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** [after t delay f] runs [f] at [now t +. delay].
+    @raise Invalid_argument if [delay] is negative. *)
+
+val cancellable_after : t -> float -> (unit -> unit) -> unit -> unit
+(** [cancellable_after t delay f] schedules [f] and returns a cancel
+    function.  Cancelling after the event fired is a no-op. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue.  Stops when empty, when simulated time would
+    exceed [until], or after [max_events] events (default 10 million, a
+    runaway guard). *)
+
+val step : t -> bool
+(** Run a single event.  Returns false when the queue is empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val clear : t -> unit
+(** Drop all pending events (does not reset the clock). *)

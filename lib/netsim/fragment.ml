@@ -1,0 +1,148 @@
+type error = Dont_fragment | Header_too_big
+
+let pp_error fmt = function
+  | Dont_fragment -> Format.pp_print_string fmt "dont-fragment bit set"
+  | Header_too_big -> Format.pp_print_string fmt "mtu smaller than header"
+
+let needs_fragmentation ~mtu pkt = Ipv4_packet.byte_length pkt > mtu
+
+let fragment ~mtu pkt =
+  if not (needs_fragmentation ~mtu pkt) then Ok [ pkt ]
+  else if pkt.Ipv4_packet.dont_fragment then Error Dont_fragment
+  else
+    let hlen = Ipv4_packet.header_length pkt in
+    (* Payload bytes per fragment, rounded down to a multiple of 8. *)
+    let chunk = (mtu - hlen) / 8 * 8 in
+    if chunk <= 0 then Error Header_too_big
+    else begin
+      let body =
+        match pkt.Ipv4_packet.payload with
+        | Ipv4_packet.Raw b -> b
+        | _ ->
+            (* Encode the structured payload once; fragments carry slices. *)
+            let whole = Ipv4_packet.encode pkt in
+            Bytes.sub whole hlen (Bytes.length whole - hlen)
+      in
+      let total = Bytes.length body in
+      let base_offset = pkt.Ipv4_packet.frag_offset in
+      let last_has_more = pkt.Ipv4_packet.more_fragments in
+      let rec slices off acc =
+        if off >= total then List.rev acc
+        else begin
+          let len = min chunk (total - off) in
+          let is_last = off + len >= total in
+          let frag =
+            {
+              pkt with
+              Ipv4_packet.payload = Ipv4_packet.Raw (Bytes.sub body off len);
+              more_fragments = (if is_last then last_has_more else true);
+              frag_offset = base_offset + (off / 8);
+            }
+          in
+          slices (off + len) (frag :: acc)
+        end
+      in
+      Ok (slices 0 [])
+    end
+
+module Reassembly = struct
+  type key = {
+    src : Ipv4_addr.t;
+    dst : Ipv4_addr.t;
+    protocol : int;
+    ident : int;
+  }
+
+  type datagram = {
+    mutable pieces : (int * Bytes.t) list;  (* byte offset, data *)
+    mutable total : int option;  (* known once the last fragment arrives *)
+    mutable first_seen : float;
+    mutable template : Ipv4_packet.t;  (* header fields from offset 0 *)
+  }
+
+  type t = (key, datagram) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let key_of (p : Ipv4_packet.t) =
+    {
+      src = p.src;
+      dst = p.dst;
+      protocol = Ipv4_packet.protocol_to_int p.protocol;
+      ident = p.ident;
+    }
+
+  let complete d =
+    match d.total with
+    | None -> None
+    | Some total ->
+        let sorted =
+          List.sort (fun (a, _) (b, _) -> Int.compare a b) d.pieces
+        in
+        let buf = Bytes.create total in
+        let covered =
+          List.fold_left
+            (fun pos (off, data) ->
+              if off > pos then -1 (* hole *)
+              else begin
+                let len = Bytes.length data in
+                let copy_len = min len (total - off) in
+                if copy_len > 0 then Bytes.blit data 0 buf off copy_len;
+                max pos (off + copy_len)
+              end)
+            0 sorted
+        in
+        if covered = total then Some buf else None
+
+  let add t ~now (p : Ipv4_packet.t) =
+    if not (Ipv4_packet.is_fragment p) then Some p
+    else begin
+      let body =
+        match p.payload with
+        | Ipv4_packet.Raw b -> b
+        | _ ->
+            let whole = Ipv4_packet.encode p in
+            let hlen = Ipv4_packet.header_length p in
+            Bytes.sub whole hlen (Bytes.length whole - hlen)
+      in
+      let k = key_of p in
+      let d =
+        match Hashtbl.find_opt t k with
+        | Some d -> d
+        | None ->
+            let d =
+              { pieces = []; total = None; first_seen = now; template = p }
+            in
+            Hashtbl.add t k d;
+            d
+      in
+      let off = p.frag_offset * 8 in
+      d.pieces <- (off, body) :: d.pieces;
+      if p.frag_offset = 0 then d.template <- p;
+      if not p.more_fragments then d.total <- Some (off + Bytes.length body);
+      match complete d with
+      | None -> None
+      | Some buf ->
+          Hashtbl.remove t k;
+          let whole =
+            {
+              d.template with
+              Ipv4_packet.payload = Ipv4_packet.Raw buf;
+              more_fragments = false;
+              frag_offset = 0;
+            }
+          in
+          Some (Ipv4_packet.reparse_payload whole)
+    end
+
+  let expire t ~older_than =
+    let stale =
+      Hashtbl.fold
+        (fun k d acc -> if d.first_seen < older_than then k :: acc else acc)
+        t []
+    in
+    List.iter (Hashtbl.remove t) stale;
+    List.length stale
+
+  let pending t = Hashtbl.length t
+end

@@ -1,0 +1,38 @@
+(** ICMP message wire format (RFC 792), extended with the experimental
+    care-of-address advertisement the paper proposes (§3.2): when the home
+    agent forwards a packet it may send an ICMP message back to the source
+    informing it of the mobile host's current care-of address, so that a
+    mobile-aware correspondent can switch from In-IE to In-DE.
+
+    The care-of advertisement uses ICMP type 40 (an unassigned value in
+    1996), carrying the home address, care-of address, and a lifetime. *)
+
+type unreach_code =
+  | Net_unreachable
+  | Host_unreachable
+  | Protocol_unreachable
+  | Port_unreachable
+  | Fragmentation_needed
+  | Admin_prohibited
+
+type t =
+  | Echo_request of { ident : int; seq : int; payload : Bytes.t }
+  | Echo_reply of { ident : int; seq : int; payload : Bytes.t }
+  | Dest_unreachable of { code : unreach_code; context : Bytes.t }
+      (** [context] is the leading bytes of the offending datagram. *)
+  | Time_exceeded of { context : Bytes.t }
+  | Care_of_advert of {
+      home : Ipv4_addr.t;
+      care_of : Ipv4_addr.t;
+      lifetime : int;  (** seconds; 0 revokes the binding *)
+    }
+
+val care_of_advert_type : int
+(** The ICMP type number (40) used for the care-of advertisement. *)
+
+val byte_length : t -> int
+val encode : t -> Bytes.t
+val decode : Bytes.t -> (t, string) result
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_unreach_code : Format.formatter -> unreach_code -> unit

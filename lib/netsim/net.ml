@@ -1,0 +1,805 @@
+type t = {
+  engine : Engine.t;
+  trace : Trace.t;
+  mutable all_nodes : node list;
+  mutable next_frame : int;
+  mutable next_flow : int;
+}
+
+and node = {
+  name : string;
+  router : bool;
+  net : t;
+  mutable node_ifaces : iface list;
+  table : Routing.table;
+  mutable policy : Filter.policy;
+  mutable claimed : Ipv4_addr.t list;
+  mutable override : (Ipv4_packet.t -> override_action option) option;
+  handlers : (int, node -> iface option -> Ipv4_packet.t -> unit) Hashtbl.t;
+  mutable observer : (Ipv4_packet.t -> unit) option;
+  mutable intercept : (flow:int -> Ipv4_packet.t -> bool) option;
+  arp_cache : (Ipv4_addr.t, Mac_addr.t) Hashtbl.t;
+  arp_pending : (Ipv4_addr.t, pending) Hashtbl.t;
+  reasm : Fragment.Reassembly.t;
+  mutable option_penalty : float;
+}
+
+and iface = {
+  ifname : string;
+  owner : node;
+  mac : Mac_addr.t;
+  mutable addr : Ipv4_addr.t;
+  mutable prefix : Ipv4_addr.Prefix.t;
+  mutable mtu : int;
+  mutable attachment : attachment;
+  mutable up : bool;
+  mutable proxy : Ipv4_addr.t list;
+  mutable groups : Ipv4_addr.t list;
+}
+
+and attachment = Detached | Seg of segment | Ptp of ptp
+
+and segment = {
+  seg_name : string;
+  seg_latency : float;
+  seg_bandwidth : float option;
+  seg_mtu : int;
+  seg_loss : loss_gen option;
+  mutable members : iface list;
+}
+
+and ptp = {
+  ptp_name : string;
+  ptp_latency : float;
+  ptp_bandwidth : float option;
+  ptp_loss : loss_gen option;
+  mutable ends : iface list;
+}
+
+(* Deterministic per-link loss: a seeded linear congruential generator, so
+   lossy-link experiments replay identically. *)
+and loss_gen = { rate : float; mutable lcg : int }
+
+and pending = { mutable queued : (iface * frame) list; mutable tries : int }
+
+and frame = {
+  fid : int;
+  flow : int;
+  content : content;
+  l2_src : Mac_addr.t;
+  l2_dst : Mac_addr.t;
+}
+
+and content = Ip of Ipv4_packet.t | Arp_msg of arp
+
+and arp = {
+  op : [ `Request | `Reply ];
+  spa : Ipv4_addr.t;
+  sha : Mac_addr.t;
+  tpa : Ipv4_addr.t;
+}
+
+and override_action =
+  | Resubmit of Ipv4_packet.t
+  | Via of {
+      out : iface;
+      next_hop : Ipv4_addr.t option;
+      l2_dst : Mac_addr.t option;
+    }
+  | Discard of string
+
+let create () =
+  {
+    engine = Engine.create ();
+    trace = Trace.create ();
+    all_nodes = [];
+    next_frame = 0;
+    next_flow = 0;
+  }
+
+let engine t = t.engine
+let trace t = t.trace
+let now t = Engine.now t.engine
+let run ?until t = Engine.run ?until t.engine
+
+let add_node t name router =
+  if List.exists (fun n -> n.name = name) t.all_nodes then
+    invalid_arg (Printf.sprintf "Net: node %S already exists" name);
+  let node =
+    {
+      name;
+      router;
+      net = t;
+      node_ifaces = [];
+      table = Routing.create ();
+      policy = Filter.accept_all;
+      claimed = [];
+      override = None;
+      handlers = Hashtbl.create 8;
+      observer = None;
+      intercept = None;
+      arp_cache = Hashtbl.create 16;
+      arp_pending = Hashtbl.create 4;
+      reasm = Fragment.Reassembly.create ();
+      option_penalty = (if router then 0.001 else 0.0);
+    }
+  in
+  t.all_nodes <- node :: t.all_nodes;
+  node
+
+let add_host t name = add_node t name false
+let add_router t name = add_node t name true
+let find_node t name = List.find_opt (fun n -> n.name = name) t.all_nodes
+let node_name n = n.name
+let is_router n = n.router
+let nodes t = List.rev t.all_nodes
+let node_net n = n.net
+let node_engine n = n.net.engine
+let node_now n = Engine.now n.net.engine
+
+let make_loss_gen ?loss ?(loss_seed = 0x5eed) () =
+  match loss with
+  | Some rate when rate > 0.0 ->
+      if rate >= 1.0 then invalid_arg "Net: loss rate must be < 1.0";
+      Some { rate; lcg = loss_seed land 0x3fffffff }
+  | Some _ | None -> None
+
+let loss_roll = function
+  | None -> false
+  | Some g ->
+      g.lcg <- ((g.lcg * 1103515245) + 12345) land 0x3fffffff;
+      float_of_int g.lcg /. 1073741824.0 < g.rate
+
+let add_segment t ~name ?(latency = 0.0005) ?bandwidth ?(mtu = 1500) ?loss
+    ?loss_seed () =
+  ignore t;
+  {
+    seg_name = name;
+    seg_latency = latency;
+    seg_bandwidth = bandwidth;
+    seg_mtu = mtu;
+    seg_loss = make_loss_gen ?loss ?loss_seed ();
+    members = [];
+  }
+
+let segment_name s = s.seg_name
+let segment_mtu s = s.seg_mtu
+
+let check_fresh_iface node ifname =
+  if List.exists (fun i -> i.ifname = ifname) node.node_ifaces then
+    invalid_arg
+      (Printf.sprintf "Net: node %S already has interface %S" node.name ifname)
+
+let install_connected_route iface =
+  Routing.add iface.owner.table ~prefix:iface.prefix ~iface:iface.ifname ()
+
+let attach node segment ~ifname ~addr ~prefix =
+  check_fresh_iface node ifname;
+  let iface =
+    {
+      ifname;
+      owner = node;
+      mac = Mac_addr.fresh ();
+      addr;
+      prefix;
+      mtu = segment.seg_mtu;
+      attachment = Seg segment;
+      up = true;
+      proxy = [];
+      groups = [];
+    }
+  in
+  node.node_ifaces <- node.node_ifaces @ [ iface ];
+  segment.members <- iface :: segment.members;
+  install_connected_route iface;
+  iface
+
+let p2p t ?(latency = 0.010) ?bandwidth ?(mtu = 1500) ?loss ?loss_seed ~prefix
+    (node_a, name_a, addr_a) (node_b, name_b, addr_b) =
+  check_fresh_iface node_a name_a;
+  check_fresh_iface node_b name_b;
+  let link =
+    {
+      ptp_name = Printf.sprintf "%s<->%s" node_a.name node_b.name;
+      ptp_latency = latency;
+      ptp_bandwidth = bandwidth;
+      ptp_loss = make_loss_gen ?loss ?loss_seed ();
+      ends = [];
+    }
+  in
+  let mk node ifname addr =
+    let iface =
+      {
+        ifname;
+        owner = node;
+        mac = Mac_addr.fresh ();
+        addr;
+        prefix;
+        mtu;
+        attachment = Ptp link;
+        up = true;
+        proxy = [];
+        groups = [];
+      }
+    in
+    node.node_ifaces <- node.node_ifaces @ [ iface ];
+    link.ends <- link.ends @ [ iface ];
+    install_connected_route iface;
+    iface
+  in
+  ignore t;
+  let ia = mk node_a name_a addr_a in
+  let ib = mk node_b name_b addr_b in
+  (ia, ib)
+
+let iface_name i = i.ifname
+let iface_addr i = i.addr
+let iface_prefix i = i.prefix
+let iface_mtu i = i.mtu
+
+let iface_mac i =
+  match i.attachment with Seg _ -> Some i.mac | Ptp _ | Detached -> None
+
+let iface_node i = i.owner
+let iface_up i = i.up
+
+let set_iface_addr i ~addr ~prefix =
+  Routing.remove i.owner.table ~prefix:i.prefix;
+  i.addr <- addr;
+  i.prefix <- prefix;
+  install_connected_route i
+
+let detach i =
+  (match i.attachment with
+  | Seg s -> s.members <- List.filter (fun m -> m != i) s.members
+  | Ptp l -> l.ends <- List.filter (fun m -> m != i) l.ends
+  | Detached -> ());
+  i.attachment <- Detached;
+  i.up <- false;
+  Routing.remove_iface i.owner.table ~iface:i.ifname
+
+let reattach i segment =
+  (match i.attachment with
+  | Detached -> ()
+  | Seg _ | Ptp _ -> detach i);
+  i.attachment <- Seg segment;
+  i.mtu <- segment.seg_mtu;
+  i.up <- true;
+  segment.members <- i :: segment.members;
+  install_connected_route i
+
+let ifaces node = node.node_ifaces
+let find_iface node name = List.find_opt (fun i -> i.ifname = name) node.node_ifaces
+let routing node = node.table
+let set_filter node p = node.policy <- p
+let filter node = node.policy
+
+let claim_address node addr =
+  if not (List.exists (Ipv4_addr.equal addr) node.claimed) then
+    node.claimed <- addr :: node.claimed
+
+let unclaim_address node addr =
+  node.claimed <- List.filter (fun a -> not (Ipv4_addr.equal a addr)) node.claimed
+
+let owns_address node addr =
+  List.exists (fun i -> i.up && Ipv4_addr.equal i.addr addr) node.node_ifaces
+  || List.exists (Ipv4_addr.equal addr) node.claimed
+
+let set_route_override node f = node.override <- f
+
+let set_protocol_handler node protocol handler =
+  Hashtbl.replace node.handlers (Ipv4_packet.protocol_to_int protocol) handler
+
+let clear_protocol_handler node protocol =
+  Hashtbl.remove node.handlers (Ipv4_packet.protocol_to_int protocol)
+
+let set_delivery_observer node f = node.observer <- f
+let set_intercept node f = node.intercept <- f
+let set_option_processing_delay node d = node.option_penalty <- d
+let option_processing_delay node = node.option_penalty
+
+let add_proxy_arp _node iface addr =
+  if not (List.exists (Ipv4_addr.equal addr) iface.proxy) then
+    iface.proxy <- addr :: iface.proxy
+
+let remove_proxy_arp _node iface addr =
+  iface.proxy <- List.filter (fun a -> not (Ipv4_addr.equal a addr)) iface.proxy
+
+let arp_lookup node addr = Hashtbl.find_opt node.arp_cache addr
+let clear_arp node = Hashtbl.reset node.arp_cache
+
+let neighbour_on_segment node addr =
+  List.find_map
+    (fun i ->
+      match i.attachment with
+      | Seg s ->
+          List.find_map
+            (fun m ->
+              if m != i && m.up && Ipv4_addr.equal m.addr addr then
+                Some (i, m.mac)
+              else None)
+            s.members
+      | Ptp _ | Detached -> None)
+    node.node_ifaces
+
+let neighbour_mac node addr =
+  Option.map snd (neighbour_on_segment node addr)
+
+let join_group _node iface group =
+  if not (Ipv4_addr.is_multicast group) then
+    invalid_arg
+      (Printf.sprintf "Net.join_group: %s is not multicast"
+         (Ipv4_addr.to_string group));
+  if not (List.exists (Ipv4_addr.equal group) iface.groups) then
+    iface.groups <- group :: iface.groups
+
+let leave_group _node iface group =
+  iface.groups <- List.filter (fun g -> not (Ipv4_addr.equal g group)) iface.groups
+
+let new_flow t =
+  t.next_flow <- t.next_flow + 1;
+  t.next_flow
+
+let new_frame_id t =
+  t.next_frame <- t.next_frame + 1;
+  t.next_frame
+
+let frame_info (f : frame) pkt : Trace.frame_info =
+  { Trace.id = f.fid; flow = f.flow; pkt }
+
+let record node event = Trace.record node.net.trace ~time:(now node.net) event
+
+let same_segment a b =
+  List.exists
+    (fun ia ->
+      match ia.attachment with
+      | Seg s -> List.exists (fun ib -> ib.owner == b && ib.up) s.members
+      | Ptp _ | Detached -> false)
+    a.node_ifaces
+
+(* ---------------------------------------------------------------- *)
+(* Data plane                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let frame_bytes = function
+  | Ip pkt -> Ipv4_packet.byte_length pkt
+  | Arp_msg _ -> 28
+
+let link_delay ~latency ~bandwidth bytes =
+  latency
+  +. (match bandwidth with
+     | Some bps when bps > 0.0 -> float_of_int (bytes * 8) /. bps
+     | _ -> 0.0)
+
+let rec deliver_frame_to iface frame =
+  if iface.up then
+    match frame.content with
+    | Arp_msg a -> arp_input iface frame a
+    | Ip pkt -> ip_input iface frame pkt
+
+(* Put a frame on the wire of [out]'s link.  [l2_dst] must already be
+   resolved for segments. *)
+and emit out frame =
+  let node = out.owner in
+  let bytes = frame_bytes frame.content in
+  (match frame.content with
+  | Ip pkt ->
+      let link_name =
+        match out.attachment with
+        | Seg s -> s.seg_name
+        | Ptp l -> l.ptp_name
+        | Detached -> "detached"
+      in
+      record node
+        (Trace.Transmit { link = link_name; frame = frame_info frame pkt; bytes })
+  | Arp_msg _ -> ());
+  match out.attachment with
+  | Detached -> (
+      match frame.content with
+      | Ip pkt ->
+          record node
+            (Trace.Drop
+               {
+                 node = node.name;
+                 reason = Trace.Link_down;
+                 frame = frame_info frame pkt;
+               })
+      | Arp_msg _ -> ())
+  | Ptp l ->
+      if loss_roll l.ptp_loss then record_link_loss node frame
+      else begin
+        let delay =
+          link_delay ~latency:l.ptp_latency ~bandwidth:l.ptp_bandwidth bytes
+        in
+        let peers = List.filter (fun e -> e != out) l.ends in
+        List.iter
+          (fun peer ->
+            Engine.after node.net.engine delay (fun () ->
+                deliver_frame_to peer frame))
+          peers
+      end
+  | Seg s ->
+      if loss_roll s.seg_loss then record_link_loss node frame
+      else begin
+        let delay =
+          link_delay ~latency:s.seg_latency ~bandwidth:s.seg_bandwidth bytes
+        in
+        let targets =
+          if Mac_addr.is_broadcast frame.l2_dst then
+            List.filter (fun m -> m != out) s.members
+          else
+            List.filter (fun m -> Mac_addr.equal m.mac frame.l2_dst) s.members
+        in
+        List.iter
+          (fun target ->
+            Engine.after node.net.engine delay (fun () ->
+                deliver_frame_to target frame))
+          targets
+      end
+
+and record_link_loss node frame =
+  match frame.content with
+  | Ip pkt ->
+      record node
+        (Trace.Drop
+           {
+             node = node.name;
+             reason = Trace.Link_loss;
+             frame = frame_info frame pkt;
+           })
+  | Arp_msg _ -> ()
+
+and send_arp out ~l2_dst arp =
+  let node = out.owner in
+  let frame =
+    {
+      fid = new_frame_id node.net;
+      flow = 0;
+      content = Arp_msg arp;
+      l2_src = out.mac;
+      l2_dst;
+    }
+  in
+  emit out frame
+
+and arp_request_retry out next_hop =
+  let node = out.owner in
+  match Hashtbl.find_opt node.arp_pending next_hop with
+  | None -> ()
+  | Some pending when pending.tries >= 3 ->
+      Hashtbl.remove node.arp_pending next_hop;
+      List.iter
+        (fun (_, frame) ->
+          match frame.content with
+          | Ip pkt ->
+              record node
+                (Trace.Drop
+                   {
+                     node = node.name;
+                     reason = Trace.Arp_unresolved;
+                     frame = frame_info frame pkt;
+                   })
+          | Arp_msg _ -> ())
+        pending.queued
+  | Some pending ->
+      pending.tries <- pending.tries + 1;
+      send_arp out ~l2_dst:Mac_addr.broadcast
+        { op = `Request; spa = out.addr; sha = out.mac; tpa = next_hop };
+      Engine.after node.net.engine 0.5 (fun () -> arp_request_retry out next_hop)
+
+and arp_resolve out next_hop frame =
+  let node = out.owner in
+  match Hashtbl.find_opt node.arp_cache next_hop with
+  | Some mac -> emit out { frame with l2_dst = mac }
+  | None -> (
+      match Hashtbl.find_opt node.arp_pending next_hop with
+      | Some pending -> pending.queued <- pending.queued @ [ (out, frame) ]
+      | None ->
+          Hashtbl.replace node.arp_pending next_hop
+            { queued = [ (out, frame) ]; tries = 0 };
+          arp_request_retry out next_hop)
+
+and arp_input iface frame arp =
+  let node = iface.owner in
+  if not (Ipv4_addr.equal arp.spa Ipv4_addr.any) then begin
+    Hashtbl.replace node.arp_cache arp.spa arp.sha;
+    (* Flush any frames waiting on this mapping. *)
+    match Hashtbl.find_opt node.arp_pending arp.spa with
+    | Some pending ->
+        Hashtbl.remove node.arp_pending arp.spa;
+        List.iter
+          (fun (out, f) -> emit out { f with l2_dst = arp.sha })
+          pending.queued
+    | None -> ()
+  end;
+  match arp.op with
+  | `Reply -> ()
+  | `Request ->
+      let answers =
+        (iface.up && Ipv4_addr.equal iface.addr arp.tpa)
+        || List.exists (Ipv4_addr.equal arp.tpa) iface.proxy
+      in
+      if answers then
+        send_arp iface ~l2_dst:frame.l2_src
+          { op = `Reply; spa = arp.tpa; sha = iface.mac; tpa = arp.spa }
+
+and ip_output node ~out ~next_hop ?l2_dst ~flow pkt =
+  if not out.up then begin
+    let f =
+      { fid = new_frame_id node.net; flow; content = Ip pkt;
+        l2_src = out.mac; l2_dst = Mac_addr.broadcast }
+    in
+    record node
+      (Trace.Drop
+         { node = node.name; reason = Trace.Link_down; frame = frame_info f pkt })
+  end
+  else
+    match Fragment.fragment ~mtu:out.mtu pkt with
+    | Error _ ->
+        let f =
+          { fid = new_frame_id node.net; flow; content = Ip pkt;
+            l2_src = out.mac; l2_dst = Mac_addr.broadcast }
+        in
+        record node
+          (Trace.Drop
+             { node = node.name; reason = Trace.Mtu_exceeded; frame = frame_info f pkt });
+        (* RFC 1191-style feedback so senders can adapt. *)
+        if pkt.Ipv4_packet.protocol <> Ipv4_packet.P_icmp then begin
+          let context = Bytes.create 0 in
+          let icmp =
+            Icmp_wire.Dest_unreachable
+              { code = Icmp_wire.Fragmentation_needed; context }
+          in
+          let reply =
+            Ipv4_packet.make ~protocol:Ipv4_packet.P_icmp ~src:out.addr
+              ~dst:pkt.Ipv4_packet.src (Ipv4_packet.Icmp icmp)
+          in
+          originate node ~flow:(new_flow node.net) reply
+        end
+    | Ok pieces ->
+        List.iter
+          (fun piece ->
+            let frame =
+              {
+                fid = new_frame_id node.net;
+                flow;
+                content = Ip piece;
+                l2_src = out.mac;
+                l2_dst = Mac_addr.broadcast;
+              }
+            in
+            match out.attachment with
+            | Ptp _ | Detached -> emit out frame
+            | Seg _ -> (
+                match l2_dst with
+                | Some mac -> emit out { frame with l2_dst = mac }
+                | None ->
+                    let dst = piece.Ipv4_packet.dst in
+                    if
+                      Ipv4_addr.equal dst Ipv4_addr.broadcast
+                      || Ipv4_addr.is_multicast dst
+                      || Ipv4_addr.equal dst (Ipv4_addr.Prefix.broadcast_addr out.prefix)
+                    then emit out frame
+                    else arp_resolve out next_hop frame))
+          pieces
+
+and ip_input iface frame pkt =
+  let node = iface.owner in
+  match Filter.evaluate node.policy ~in_iface:iface.ifname pkt with
+  | Filter.Reject reason ->
+      record node
+        (Trace.Drop { node = node.name; reason; frame = frame_info frame pkt })
+  | Filter.Pass ->
+      let dst = pkt.Ipv4_packet.dst in
+      let local =
+        owns_address node dst
+        || Ipv4_addr.equal dst Ipv4_addr.broadcast
+        || Ipv4_addr.equal dst (Ipv4_addr.Prefix.broadcast_addr iface.prefix)
+        || (Ipv4_addr.is_multicast dst
+           && List.exists (Ipv4_addr.equal dst) iface.groups)
+      in
+      if local then deliver node (Some iface) frame pkt
+      else if Ipv4_addr.is_multicast dst || Ipv4_addr.equal dst Ipv4_addr.broadcast
+      then (* not joined / not ours: ignore silently *) ()
+      else if node.router then forward node iface frame pkt
+      else
+        record node
+          (Trace.Drop
+             { node = node.name; reason = Trace.Not_for_me; frame = frame_info frame pkt })
+
+and deliver node in_iface frame pkt =
+  match Fragment.Reassembly.add node.reasm ~now:(now node.net) pkt with
+  | None -> (* incomplete datagram; wait for more fragments *) ()
+  | Some whole -> (
+      (* Loose source routing: a packet addressed to us whose route is not
+         exhausted is rewritten toward its next listed hop (RFC 791). *)
+      match Ipv4_options.lsr_next_hop whole.Ipv4_packet.options with
+      | Some next -> (
+          match
+            Ipv4_options.advance_lsr whole.Ipv4_packet.options
+              ~here:whole.Ipv4_packet.dst
+          with
+          | Some options ->
+              let rerouted =
+                { whole with Ipv4_packet.dst = next; options }
+              in
+              record node
+                (Trace.Forward
+                   {
+                     node = node.name;
+                     in_iface = "lsr";
+                     out_iface = "lsr";
+                     frame = frame_info frame rerouted;
+                   });
+              originate node ~flow:frame.flow rerouted
+          | None -> ())
+      | None -> deliver_local node in_iface frame whole)
+
+and deliver_local node in_iface frame whole =
+      let consumed =
+        match node.intercept with
+        | Some hook -> hook ~flow:frame.flow whole
+        | None -> false
+      in
+      if not consumed then begin
+        record node
+          (Trace.Deliver { node = node.name; frame = frame_info frame whole });
+        (match node.observer with Some f -> f whole | None -> ());
+        let proto = Ipv4_packet.protocol_to_int whole.Ipv4_packet.protocol in
+        match Hashtbl.find_opt node.handlers proto with
+        | Some handler -> handler node in_iface whole
+        | None -> ()
+      end
+
+and forward node in_iface frame pkt =
+  match Ipv4_packet.decrement_ttl pkt with
+  | None ->
+      record node
+        (Trace.Drop
+           { node = node.name; reason = Trace.Ttl_expired; frame = frame_info frame pkt })
+  | Some pkt -> (
+      match Routing.lookup node.table pkt.Ipv4_packet.dst with
+      | None ->
+          record node
+            (Trace.Drop
+               { node = node.name; reason = Trace.No_route; frame = frame_info frame pkt })
+      | Some route -> (
+          match find_iface node route.Routing.iface with
+          | None ->
+              record node
+                (Trace.Drop
+                   { node = node.name; reason = Trace.No_route;
+                     frame = frame_info frame pkt })
+          | Some out ->
+              record node
+                (Trace.Forward
+                   {
+                     node = node.name;
+                     in_iface = in_iface.ifname;
+                     out_iface = out.ifname;
+                     frame = frame_info frame pkt;
+                   });
+              let next_hop =
+                match route.Routing.gateway with
+                | Some g -> g
+                | None -> pkt.Ipv4_packet.dst
+              in
+              (* Optioned packets take the router's slow path (§4). *)
+              if
+                node.option_penalty > 0.0
+                && Ipv4_options.has_options pkt.Ipv4_packet.options
+              then
+                Engine.after node.net.engine node.option_penalty (fun () ->
+                    ip_output node ~out ~next_hop ~flow:frame.flow pkt)
+              else ip_output node ~out ~next_hop ~flow:frame.flow pkt))
+
+(* Origin transmission: loopback, override hook, routing table. *)
+and originate ?(depth = 0) node ~flow ?via ?l2_dst pkt =
+  if depth > 8 then
+    invalid_arg "Net.send: route-override resubmit loop (depth > 8)"
+  else begin
+    (* Fill an unspecified source from the outgoing interface only after
+       the route-override hook has seen the packet: an unbound source is
+       itself a signal the mobility policy keys on (§7.1.1). *)
+    let fill_src out pkt =
+      if Ipv4_addr.equal pkt.Ipv4_packet.src Ipv4_addr.any then
+        { pkt with Ipv4_packet.src = out.addr }
+      else pkt
+    in
+    let fake_frame pkt =
+      { fid = new_frame_id node.net; flow; content = Ip pkt;
+        l2_src = Mac_addr.broadcast; l2_dst = Mac_addr.broadcast }
+    in
+    let emit_via out ~next_hop ?l2_dst pkt =
+      let pkt = fill_src out pkt in
+      let f = fake_frame pkt in
+      record node (Trace.Send { node = node.name; frame = frame_info f pkt });
+      ip_output node ~out ~next_hop ?l2_dst ~flow pkt
+    in
+    if owns_address node pkt.Ipv4_packet.dst then begin
+      (* Loopback delivery: never touches a wire. *)
+      let pkt =
+        if Ipv4_addr.equal pkt.Ipv4_packet.src Ipv4_addr.any then
+          { pkt with Ipv4_packet.src = pkt.Ipv4_packet.dst }
+        else pkt
+      in
+      let f = fake_frame pkt in
+      record node (Trace.Send { node = node.name; frame = frame_info f pkt });
+      deliver node None f pkt
+    end
+    else begin
+      let decision =
+        match node.override with
+        | Some hook -> hook pkt
+        | None -> None
+      in
+      match decision with
+      | Some (Resubmit pkt') ->
+          originate ~depth:(depth + 1) node ~flow ?via ?l2_dst pkt'
+      | Some (Discard reason) ->
+          let f = fake_frame pkt in
+          record node
+            (Trace.Drop
+               {
+                 node = node.name;
+                 reason = Trace.Custom reason;
+                 frame = frame_info f pkt;
+               })
+      | Some (Via { out; next_hop; l2_dst = forced_l2 }) ->
+          let next_hop = Option.value next_hop ~default:pkt.Ipv4_packet.dst in
+          emit_via out ~next_hop ?l2_dst:forced_l2 pkt
+      | None -> (
+          match via with
+          | Some out -> emit_via out ~next_hop:pkt.Ipv4_packet.dst ?l2_dst pkt
+          | None -> (
+              match Routing.lookup node.table pkt.Ipv4_packet.dst with
+              | None ->
+                  let f = fake_frame pkt in
+                  record node
+                    (Trace.Drop
+                       {
+                         node = node.name;
+                         reason = Trace.No_route;
+                         frame = frame_info f pkt;
+                       })
+              | Some route -> (
+                  match find_iface node route.Routing.iface with
+                  | None ->
+                      let f = fake_frame pkt in
+                      record node
+                        (Trace.Drop
+                           {
+                             node = node.name;
+                             reason = Trace.No_route;
+                             frame = frame_info f pkt;
+                           })
+                  | Some out ->
+                      let next_hop =
+                        match route.Routing.gateway with
+                        | Some g -> g
+                        | None -> pkt.Ipv4_packet.dst
+                      in
+                      emit_via out ~next_hop ?l2_dst pkt)))
+    end
+  end
+
+let send node ?flow ?via ?l2_dst pkt =
+  let flow = match flow with Some f -> f | None -> new_flow node.net in
+  originate node ~flow ?via ?l2_dst pkt;
+  flow
+
+let inject_local node ~flow pkt =
+  let frame =
+    { fid = new_frame_id node.net; flow; content = Ip pkt;
+      l2_src = Mac_addr.broadcast; l2_dst = Mac_addr.broadcast }
+  in
+  record node (Trace.Deliver { node = node.name; frame = frame_info frame pkt });
+  (match node.observer with Some f -> f pkt | None -> ());
+  let proto = Ipv4_packet.protocol_to_int pkt.Ipv4_packet.protocol in
+  (match Hashtbl.find_opt node.handlers proto with
+  | Some handler -> handler node None pkt
+  | None -> ())
+
+let gratuitous_arp _node iface addr =
+  send_arp iface ~l2_dst:Mac_addr.broadcast
+    { op = `Reply; spa = addr; sha = iface.mac; tpa = addr }

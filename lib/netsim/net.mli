@@ -1,0 +1,225 @@
+(** The simulated network: topology construction plus the IP data plane.
+
+    A {!t} owns a discrete-event {!Engine}, a {!Trace} and a set of nodes.
+    Nodes are hosts or routers; interfaces attach them to Ethernet
+    {e segments} (broadcast domains with MAC addressing and ARP) or to
+    point-to-point links.  The data plane implements:
+
+    - origin sends with {e route-override hooks} consulted before the
+      routing table — the mechanism the paper's Linux implementation uses
+      for its mobility policy table (§7);
+    - router forwarding with TTL, {!Filter} policies (ingress
+      source-address filtering, transit prohibition, firewalls) and
+      fragmentation/ICMP-fragmentation-needed on MTU violations;
+    - ARP with per-node caches, {e proxy ARP} and {e gratuitous ARP}
+      (RFC 1027) — how a home agent captures packets for an absent mobile
+      host;
+    - delivery to protocol handlers, with fragment reassembly;
+    - link-layer-addressed sends ([~l2_dst]) so a correspondent on the same
+      segment can deliver a packet whose IP destination "does not belong"
+      on that segment — the paper's In-DH method;
+    - segment-local multicast delivery with group membership.
+
+    Every IP packet travels inside a frame with a unique id and a [flow]
+    id preserved across encapsulation and fragmentation, feeding the
+    {!Trace}. *)
+
+type t
+type node
+type iface
+type segment
+
+(** {1 Network and topology} *)
+
+val create : unit -> t
+val engine : t -> Engine.t
+val trace : t -> Trace.t
+val now : t -> float
+val run : ?until:float -> t -> unit
+
+val add_host : t -> string -> node
+val add_router : t -> string -> node
+(** @raise Invalid_argument if the name is already taken. *)
+
+val find_node : t -> string -> node option
+val node_name : node -> string
+val is_router : node -> bool
+val nodes : t -> node list
+val node_net : node -> t
+val node_engine : node -> Engine.t
+val node_now : node -> float
+
+val add_segment :
+  t -> name:string -> ?latency:float -> ?bandwidth:float -> ?mtu:int ->
+  ?loss:float -> ?loss_seed:int -> unit -> segment
+(** An Ethernet broadcast domain.  Defaults: 0.5 ms latency, unlimited
+    bandwidth, MTU 1500, no loss.  [?loss] is a per-frame drop
+    probability in [0,1) driven by a seeded deterministic generator
+    ([?loss_seed]), so lossy experiments replay identically.
+    @raise Invalid_argument if [loss >= 1.0]. *)
+
+val segment_name : segment -> string
+val segment_mtu : segment -> int
+
+val attach :
+  node -> segment -> ifname:string -> addr:Ipv4_addr.t ->
+  prefix:Ipv4_addr.Prefix.t -> iface
+(** Create an interface with a fresh MAC on the segment and install the
+    connected route.
+    @raise Invalid_argument if the node already has an interface with this
+    name. *)
+
+val p2p :
+  t -> ?latency:float -> ?bandwidth:float -> ?mtu:int ->
+  ?loss:float -> ?loss_seed:int ->
+  prefix:Ipv4_addr.Prefix.t ->
+  node * string * Ipv4_addr.t -> node * string * Ipv4_addr.t ->
+  iface * iface
+(** A point-to-point link (no MAC layer).  Defaults: 10 ms latency,
+    unlimited bandwidth, MTU 1500, no loss (see {!add_segment} for the
+    loss model).  Installs connected routes on both ends. *)
+
+(** {1 Interfaces} *)
+
+val iface_name : iface -> string
+val iface_addr : iface -> Ipv4_addr.t
+val iface_prefix : iface -> Ipv4_addr.Prefix.t
+val iface_mtu : iface -> int
+val iface_mac : iface -> Mac_addr.t option
+(** [None] on point-to-point links. *)
+
+val iface_node : iface -> node
+val iface_up : iface -> bool
+val set_iface_addr : iface -> addr:Ipv4_addr.t -> prefix:Ipv4_addr.Prefix.t -> unit
+(** Re-address an interface (mobile host arriving on a new network);
+    replaces its connected route. *)
+
+val detach : iface -> unit
+(** Take the interface down and remove it from its segment and its routes
+    from the table. *)
+
+val reattach : iface -> segment -> unit
+(** Attach an existing (detached) interface to a new segment and restore
+    its connected route. *)
+
+val ifaces : node -> iface list
+val find_iface : node -> string -> iface option
+
+(** {1 Node configuration} *)
+
+val routing : node -> Routing.table
+val set_filter : node -> Filter.policy -> unit
+val filter : node -> Filter.policy
+
+val claim_address : node -> Ipv4_addr.t -> unit
+(** Declare that this node owns (accepts delivery for) an address beyond
+    its interface addresses — a mobile host's home address while roaming,
+    or a home agent intercepting for an absent mobile host. *)
+
+val unclaim_address : node -> Ipv4_addr.t -> unit
+val owns_address : node -> Ipv4_addr.t -> bool
+
+val set_option_processing_delay : node -> float -> unit
+(** Extra forwarding delay this router applies to packets carrying IP
+    options (default 1 ms for routers, 0 for hosts) — "current IP routers
+    typically handle packets with options much more slowly than normal
+    unadorned IP packets" (§4).  Experiment A1 measures the consequence
+    for loose-source-routed Mobile IP. *)
+
+val option_processing_delay : node -> float
+
+type override_action =
+  | Resubmit of Ipv4_packet.t
+      (** Replace the packet and run resolution again — the paper's
+          "virtual interface that encapsulates and resubmits to IP". *)
+  | Via of {
+      out : iface;
+      next_hop : Ipv4_addr.t option;
+      l2_dst : Mac_addr.t option;
+    }  (** Force a specific interface/next-hop/link-layer destination. *)
+  | Discard of string  (** Drop locally with a reason. *)
+
+val set_route_override :
+  node -> (Ipv4_packet.t -> override_action option) option -> unit
+(** Install (or clear) the hook consulted before the routing table for
+    locally-originated packets. *)
+
+val set_protocol_handler :
+  node -> Ipv4_packet.protocol ->
+  (node -> iface option -> Ipv4_packet.t -> unit) -> unit
+(** Handler for delivered packets of the given protocol.  The [iface]
+    argument is [None] for loopback deliveries.  Replaces any previous
+    handler for that protocol. *)
+
+val clear_protocol_handler : node -> Ipv4_packet.protocol -> unit
+
+val set_delivery_observer : node -> (Ipv4_packet.t -> unit) option -> unit
+(** Called on every delivered packet, before the protocol handler. *)
+
+val set_intercept :
+  node -> (flow:int -> Ipv4_packet.t -> bool) option -> unit
+(** Install (or clear) a capture hook that runs after reassembly but before
+    the packet is considered delivered.  Returning [true] consumes the
+    packet: no Deliver trace event, no observer, no protocol handler.  This
+    is how a home agent captures packets addressed to an absent mobile
+    host's home address (jointly with proxy ARP and {!claim_address}) and
+    re-tunnels them. *)
+
+val inject_local :
+  node -> flow:int -> Ipv4_packet.t -> unit
+(** Deliver a packet locally as if it had just arrived (trace Deliver,
+    observer, protocol handler) — used to hand a decapsulated inner packet
+    back to the stack.  The intercept hook is {e not} consulted, so a node
+    that both captures and decapsulates cannot loop. *)
+
+(** {1 ARP} *)
+
+val add_proxy_arp : node -> iface -> Ipv4_addr.t -> unit
+(** Answer ARP requests for the address on this interface's segment with
+    our own MAC (proxy ARP). *)
+
+val remove_proxy_arp : node -> iface -> Ipv4_addr.t -> unit
+
+val gratuitous_arp : node -> iface -> Ipv4_addr.t -> unit
+(** Broadcast an unsolicited ARP reply binding the address to this
+    interface's MAC, updating caches on the segment. *)
+
+val arp_lookup : node -> Ipv4_addr.t -> Mac_addr.t option
+(** Inspect the node's ARP cache (for tests). *)
+
+val clear_arp : node -> unit
+(** Flush the ARP cache (a mobile host changing segments must not keep
+    neighbour state from the previous network). *)
+
+val neighbour_mac : node -> Ipv4_addr.t -> Mac_addr.t option
+(** Ground truth: the MAC currently bound to an address on any segment this
+    node is attached to (what a mobile-aware host uses for In-DH once it
+    knows its peer is local). *)
+
+val neighbour_on_segment :
+  node -> Ipv4_addr.t -> (iface * Mac_addr.t) option
+(** Like {!neighbour_mac} but also returns our interface on the shared
+    segment, ready for an In-DH [Via] decision. *)
+
+(** {1 Multicast} *)
+
+val join_group : node -> iface -> Ipv4_addr.t -> unit
+(** Join a multicast group on an interface; segment-local delivery only.
+    @raise Invalid_argument if the address is not multicast. *)
+
+val leave_group : node -> iface -> Ipv4_addr.t -> unit
+
+(** {1 Sending} *)
+
+val new_flow : t -> int
+
+val send :
+  node -> ?flow:int -> ?via:iface -> ?l2_dst:Mac_addr.t -> Ipv4_packet.t -> int
+(** Originate a packet.  Resolution order: destination owned by self
+    (loopback delivery) / route-override hook / [?via] / routing table.
+    [?l2_dst] forces the link-layer destination of the first hop (In-DH).
+    Returns the flow id (fresh unless [?flow] given). *)
+
+val same_segment : node -> node -> bool
+(** True when the two nodes have interfaces attached to a common segment —
+    the applicability test for the paper's Row C. *)

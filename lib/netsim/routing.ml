@@ -1,0 +1,47 @@
+type route = {
+  prefix : Ipv4_addr.Prefix.t;
+  gateway : Ipv4_addr.t option;
+  iface : string;
+  metric : int;
+}
+
+let pp_route fmt r =
+  Format.fprintf fmt "%a via %s dev %s metric %d" Ipv4_addr.Prefix.pp r.prefix
+    (match r.gateway with Some g -> Ipv4_addr.to_string g | None -> "direct")
+    r.iface r.metric
+
+(* Routes kept sorted: longest prefix first, then lowest metric, then newest
+   first (insertion order preserved by stable sort). *)
+type table = { mutable routes : route list }
+
+let create () = { routes = [] }
+
+let order a b =
+  match
+    Int.compare (Ipv4_addr.Prefix.bits b.prefix) (Ipv4_addr.Prefix.bits a.prefix)
+  with
+  | 0 -> Int.compare a.metric b.metric
+  | c -> c
+
+let add t ?(metric = 0) ?gateway ~prefix ~iface () =
+  let r = { prefix; gateway; iface; metric } in
+  t.routes <- List.stable_sort order (r :: t.routes)
+
+let add_default t ~gateway ~iface =
+  add t ~gateway ~prefix:Ipv4_addr.Prefix.global ~iface ()
+
+let remove t ~prefix =
+  t.routes <-
+    List.filter (fun r -> not (Ipv4_addr.Prefix.equal r.prefix prefix)) t.routes
+
+let remove_iface t ~iface =
+  t.routes <- List.filter (fun r -> r.iface <> iface) t.routes
+
+let lookup t addr =
+  List.find_opt (fun r -> Ipv4_addr.Prefix.mem addr r.prefix) t.routes
+
+let routes t = t.routes
+let clear t = t.routes <- []
+
+let pp fmt t =
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_route r) t.routes

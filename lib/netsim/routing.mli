@@ -1,0 +1,42 @@
+(** Per-node IP routing tables with longest-prefix-match lookup.
+
+    A route maps a destination prefix to an outgoing interface name and an
+    optional next-hop gateway (absent for directly-connected networks).
+    Lookup prefers the longest matching prefix, then the lowest metric,
+    then the most recently added route. *)
+
+type route = {
+  prefix : Ipv4_addr.Prefix.t;
+  gateway : Ipv4_addr.t option;  (** [None] = directly connected *)
+  iface : string;
+  metric : int;
+}
+
+val pp_route : Format.formatter -> route -> unit
+
+type table
+
+val create : unit -> table
+
+val add : table -> ?metric:int -> ?gateway:Ipv4_addr.t ->
+  prefix:Ipv4_addr.Prefix.t -> iface:string -> unit -> unit
+(** Add a route (default metric 0). *)
+
+val add_default : table -> gateway:Ipv4_addr.t -> iface:string -> unit
+(** Add a [0.0.0.0/0] route. *)
+
+val remove : table -> prefix:Ipv4_addr.Prefix.t -> unit
+(** Remove every route for exactly this prefix. *)
+
+val remove_iface : table -> iface:string -> unit
+(** Remove every route through the named interface (used when a mobile
+    host detaches from a network). *)
+
+val lookup : table -> Ipv4_addr.t -> route option
+(** Longest-prefix-match lookup. *)
+
+val routes : table -> route list
+(** Current routes, most specific first. *)
+
+val clear : table -> unit
+val pp : Format.formatter -> table -> unit

@@ -1,0 +1,166 @@
+type drop_reason =
+  | Ingress_filter
+  | Transit_filter
+  | Firewall of string
+  | Ttl_expired
+  | No_route
+  | Mtu_exceeded
+  | Arp_unresolved
+  | Not_for_me
+  | Link_down
+  | Link_loss
+  | Reassembly_timeout
+  | Custom of string
+
+let pp_drop_reason fmt = function
+  | Ingress_filter -> Format.pp_print_string fmt "ingress-source-filter"
+  | Transit_filter -> Format.pp_print_string fmt "transit-filter"
+  | Firewall s -> Format.fprintf fmt "firewall(%s)" s
+  | Ttl_expired -> Format.pp_print_string fmt "ttl-expired"
+  | No_route -> Format.pp_print_string fmt "no-route"
+  | Mtu_exceeded -> Format.pp_print_string fmt "mtu-exceeded"
+  | Arp_unresolved -> Format.pp_print_string fmt "arp-unresolved"
+  | Not_for_me -> Format.pp_print_string fmt "not-for-me"
+  | Link_down -> Format.pp_print_string fmt "link-down"
+  | Link_loss -> Format.pp_print_string fmt "link-loss"
+  | Reassembly_timeout -> Format.pp_print_string fmt "reassembly-timeout"
+  | Custom s -> Format.fprintf fmt "custom(%s)" s
+
+let drop_reason_equal (a : drop_reason) b = a = b
+
+type frame_info = { id : int; flow : int; pkt : Ipv4_packet.t }
+
+type event =
+  | Send of { node : string; frame : frame_info }
+  | Transmit of { link : string; frame : frame_info; bytes : int }
+  | Forward of {
+      node : string;
+      in_iface : string;
+      out_iface : string;
+      frame : frame_info;
+    }
+  | Drop of { node : string; reason : drop_reason; frame : frame_info }
+  | Deliver of { node : string; frame : frame_info }
+  | Encapsulate of { node : string; frame : frame_info }
+  | Decapsulate of { node : string; frame : frame_info }
+
+type record = { time : float; event : event }
+
+type t = { mutable rev_records : record list; mutable count : int }
+
+let create () = { rev_records = []; count = 0 }
+
+let record t ~time event =
+  t.rev_records <- { time; event } :: t.rev_records;
+  t.count <- t.count + 1
+
+let records t = List.rev t.rev_records
+
+let clear t =
+  t.rev_records <- [];
+  t.count <- 0
+
+let length t = t.count
+
+let frame_of = function
+  | Send { frame; _ }
+  | Transmit { frame; _ }
+  | Forward { frame; _ }
+  | Drop { frame; _ }
+  | Deliver { frame; _ }
+  | Encapsulate { frame; _ }
+  | Decapsulate { frame; _ } ->
+      frame
+
+let flow_records t ~flow =
+  List.filter (fun r -> (frame_of r.event).flow = flow) (records t)
+
+let transmissions t ~flow =
+  List.fold_left
+    (fun acc r ->
+      match r.event with
+      | Transmit { frame; _ } when frame.flow = flow -> acc + 1
+      | _ -> acc)
+    0 (records t)
+
+let wire_bytes t ~flow =
+  List.fold_left
+    (fun acc r ->
+      match r.event with
+      | Transmit { frame; bytes; _ } when frame.flow = flow -> acc + bytes
+      | _ -> acc)
+    0 (records t)
+
+let delivery_time t ~flow ~node =
+  List.find_map
+    (fun r ->
+      match r.event with
+      | Deliver { node = n; frame } when n = node && frame.flow = flow ->
+          Some r.time
+      | _ -> None)
+    (records t)
+
+let delivered t ~flow ~node = delivery_time t ~flow ~node <> None
+
+let send_time t ~flow =
+  List.find_map
+    (fun r ->
+      match r.event with
+      | Send { frame; _ } when frame.flow = flow -> Some r.time
+      | _ -> None)
+    (records t)
+
+let drops t ~flow =
+  List.filter_map
+    (fun r ->
+      match r.event with
+      | Drop { node; reason; frame } when frame.flow = flow ->
+          Some (node, reason)
+      | _ -> None)
+    (records t)
+
+let path t ~flow =
+  List.filter_map
+    (fun r ->
+      match r.event with
+      | Send { node; frame }
+      | Forward { node; frame; _ }
+      | Deliver { node; frame }
+      | Encapsulate { node; frame }
+      | Decapsulate { node; frame }
+        when frame.flow = flow ->
+          Some node
+      | _ -> None)
+    (records t)
+  |> List.fold_left
+       (fun acc node ->
+         match acc with
+         | last :: _ when last = node -> acc
+         | _ -> node :: acc)
+       []
+  |> List.rev
+
+let pp_frame fmt (f : frame_info) =
+  Format.fprintf fmt "#%d/f%d %a" f.id f.flow Ipv4_packet.pp f.pkt
+
+let pp_event fmt = function
+  | Send { node; frame } -> Format.fprintf fmt "send    %-8s %a" node pp_frame frame
+  | Transmit { link; frame; bytes } ->
+      Format.fprintf fmt "wire    %-8s %dB %a" link bytes pp_frame frame
+  | Forward { node; in_iface; out_iface; frame } ->
+      Format.fprintf fmt "forward %-8s %s->%s %a" node in_iface out_iface
+        pp_frame frame
+  | Drop { node; reason; frame } ->
+      Format.fprintf fmt "DROP    %-8s %a %a" node pp_drop_reason reason
+        pp_frame frame
+  | Deliver { node; frame } ->
+      Format.fprintf fmt "deliver %-8s %a" node pp_frame frame
+  | Encapsulate { node; frame } ->
+      Format.fprintf fmt "encap   %-8s %a" node pp_frame frame
+  | Decapsulate { node; frame } ->
+      Format.fprintf fmt "decap   %-8s %a" node pp_frame frame
+
+let pp_record fmt r = Format.fprintf fmt "%8.4f %a" r.time pp_event r.event
+
+let dump fmt t =
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_record r) (records t)

@@ -1,0 +1,86 @@
+(** Per-packet life-cycle tracing.
+
+    Every wire packet in the simulator is wrapped in a frame carrying a
+    unique [id] and a [flow] identifier that survives encapsulation,
+    decapsulation and fragmentation.  The trace records what happened to
+    each frame — where it was sent, forwarded, dropped (and why) or
+    delivered — so tests and experiments can assert exact paths, hop
+    counts, wire bytes and drop reasons.
+
+    Hop counts in the experiment tables are [transmissions]: the number of
+    link traversals a flow's bytes made, which is the paper's notion of
+    "distance travelled through the Internet". *)
+
+type drop_reason =
+  | Ingress_filter
+      (** boundary router: outside packet claiming an inside source (Fig 2) *)
+  | Transit_filter  (** foreign source on a non-transit tail circuit *)
+  | Firewall of string
+  | Ttl_expired
+  | No_route
+  | Mtu_exceeded  (** over-MTU packet with the DF bit set *)
+  | Arp_unresolved
+  | Not_for_me  (** unicast packet reaching a host that does not own it *)
+  | Link_down
+  | Link_loss  (** random loss on a lossy link (seeded, deterministic) *)
+  | Reassembly_timeout
+  | Custom of string
+
+val pp_drop_reason : Format.formatter -> drop_reason -> unit
+val drop_reason_equal : drop_reason -> drop_reason -> bool
+
+type frame_info = { id : int; flow : int; pkt : Ipv4_packet.t }
+
+type event =
+  | Send of { node : string; frame : frame_info }
+  | Transmit of { link : string; frame : frame_info; bytes : int }
+  | Forward of {
+      node : string;
+      in_iface : string;
+      out_iface : string;
+      frame : frame_info;
+    }
+  | Drop of { node : string; reason : drop_reason; frame : frame_info }
+  | Deliver of { node : string; frame : frame_info }
+  | Encapsulate of { node : string; frame : frame_info }
+      (** [frame] is the new outer frame; its [flow] is inherited. *)
+  | Decapsulate of { node : string; frame : frame_info }
+      (** [frame] is the revealed inner frame. *)
+
+type record = { time : float; event : event }
+
+type t
+
+val create : unit -> t
+val record : t -> time:float -> event -> unit
+val records : t -> record list
+(** All records, oldest first. *)
+
+val clear : t -> unit
+val length : t -> int
+
+(** {1 Flow queries} *)
+
+val flow_records : t -> flow:int -> record list
+val transmissions : t -> flow:int -> int
+(** Link traversals made by the flow — the "hops" metric. *)
+
+val wire_bytes : t -> flow:int -> int
+(** Total bytes the flow put on links (fragments and encapsulation
+    included). *)
+
+val delivered : t -> flow:int -> node:string -> bool
+val delivery_time : t -> flow:int -> node:string -> float option
+(** Time of first delivery at [node]. *)
+
+val send_time : t -> flow:int -> float option
+val drops : t -> flow:int -> (string * drop_reason) list
+(** (node, reason) pairs for every drop of the flow. *)
+
+val path : t -> flow:int -> string list
+(** Nodes the flow visited, in order: origin, forwarders
+    (encapsulation/decapsulation points included), final deliveries. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_record : Format.formatter -> record -> unit
+val dump : Format.formatter -> t -> unit

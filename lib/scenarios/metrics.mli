@@ -1,0 +1,21 @@
+(** Trace post-processing used by experiments: per-link byte accounting and
+    loss statistics — the "load on the shared resources of the Internet"
+    the paper's §3.2 worries about. *)
+
+val link_bytes : Netsim.Net.t -> (string * int) list
+(** Total bytes transmitted per link, sorted by link name. *)
+
+val total_bytes : Netsim.Net.t -> int
+(** Bytes across all links. *)
+
+val backbone_bytes : Netsim.Net.t -> int
+(** Bytes on inter-router links of the standard topology (link names
+    containing ["<->"], i.e. every point-to-point link). *)
+
+val bytes_on : Netsim.Net.t -> link:string -> int
+
+val drops_by_reason : Netsim.Net.t -> (Netsim.Trace.drop_reason * int) list
+(** Drop counts grouped by reason. *)
+
+val delivered_count : Netsim.Net.t -> node:string -> int
+(** Number of Deliver events at the node. *)

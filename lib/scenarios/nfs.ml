@@ -1,0 +1,92 @@
+open Netsim
+
+let op_read = 1
+let status_ok = 0
+let status_eacces = 13
+let status_enoent = 2
+
+module Server = struct
+  type t = {
+    exports : (string * Bytes.t) list;
+    trusted : Ipv4_addr.Prefix.t list;
+    mutable served : int;
+    mutable refused : int;
+  }
+
+  let handle t udp (dgram : Transport.Udp_service.datagram) =
+    let payload = dgram.Transport.Udp_service.payload in
+    if Bytes.length payload >= 1 && Char.code (Bytes.get payload 0) = op_read
+    then begin
+      let path = Bytes.sub_string payload 1 (Bytes.length payload - 1) in
+      let reply =
+        if
+          not
+            (List.exists
+               (Ipv4_addr.Prefix.mem dgram.Transport.Udp_service.src)
+               t.trusted)
+        then begin
+          t.refused <- t.refused + 1;
+          Bytes.make 1 (Char.chr status_eacces)
+        end
+        else begin
+          match List.assoc_opt path t.exports with
+          | Some data ->
+              t.served <- t.served + 1;
+              Bytes.cat (Bytes.make 1 (Char.chr status_ok)) data
+          | None ->
+              t.served <- t.served + 1;
+              Bytes.make 1 (Char.chr status_enoent)
+        end
+      in
+      ignore
+        (Transport.Udp_service.send udp ~src:dgram.Transport.Udp_service.dst
+           ~dst:dgram.Transport.Udp_service.src
+           ~src_port:Transport.Well_known.nfs
+           ~dst_port:dgram.Transport.Udp_service.src_port reply)
+    end
+
+  let create node ~exports ~trusted () =
+    let t = { exports; trusted; served = 0; refused = 0 } in
+    let udp = Transport.Udp_service.get node in
+    Transport.Udp_service.listen udp ~port:Transport.Well_known.nfs
+      (fun svc dgram -> handle t svc dgram);
+    t
+
+  let requests_served t = t.served
+  let requests_refused t = t.refused
+end
+
+module Client = struct
+  type result = Contents of Bytes.t | Access_denied | No_such_file
+
+  let pp_result fmt = function
+    | Contents data ->
+        Format.fprintf fmt "contents (%d bytes)" (Bytes.length data)
+    | Access_denied -> Format.pp_print_string fmt "EACCES"
+    | No_such_file -> Format.pp_print_string fmt "ENOENT"
+
+  let read ~net node ~server ?src ~path () =
+    let udp = Transport.Udp_service.get node in
+    let port = Transport.Udp_service.ephemeral_port udp in
+    let result = ref None in
+    Transport.Udp_service.listen udp ~port (fun svc dgram ->
+        Transport.Udp_service.unlisten svc ~port;
+        let payload = dgram.Transport.Udp_service.payload in
+        if Bytes.length payload >= 1 then
+          result :=
+            (match Char.code (Bytes.get payload 0) with
+            | 0 ->
+                Some
+                  (Contents (Bytes.sub payload 1 (Bytes.length payload - 1)))
+            | 13 -> Some Access_denied
+            | 2 -> Some No_such_file
+            | _ -> None));
+    let req =
+      Bytes.cat (Bytes.make 1 (Char.chr op_read)) (Bytes.of_string path)
+    in
+    ignore
+      (Transport.Udp_service.send udp ?src ~dst:server ~src_port:port
+         ~dst_port:Transport.Well_known.nfs req);
+    Net.run net;
+    !result
+end

@@ -1,0 +1,52 @@
+(** An NFS-like service with address-based trust (paper §3.1: "Many
+    network services, including the majority of NFS servers, determine
+    whether or not they can safely trust the host sending the packet
+    solely based on the source address of the packet.").
+
+    This is why home-address transparency matters beyond keeping TCP
+    alive: a roaming host can use its home institution's file server only
+    if its requests {e arrive bearing the home source address} — which,
+    under ingress filtering, only the reverse tunnel (Out-IE) can deliver.
+    It is also why ingress filtering exists at all: without it, "any
+    machine on the Internet [could] impersonate any machine in our
+    organization".
+
+    Protocol (UDP port 2049): request = opcode READ (1) + filename;
+    reply = OK (0) + data, or EACCES (13) when the client address is not
+    in the export list. *)
+
+module Server : sig
+  type t
+
+  val create :
+    Netsim.Net.node ->
+    exports:(string * Bytes.t) list ->
+    trusted:Netsim.Ipv4_addr.Prefix.t list ->
+    unit ->
+    t
+  (** Serve the given files to clients whose {e packet source address}
+      falls inside one of the trusted prefixes. *)
+
+  val requests_served : t -> int
+  val requests_refused : t -> int
+end
+
+module Client : sig
+  type result =
+    | Contents of Bytes.t
+    | Access_denied
+    | No_such_file
+
+  val pp_result : Format.formatter -> result -> unit
+
+  val read :
+    net:Netsim.Net.t ->
+    Netsim.Net.node ->
+    server:Netsim.Ipv4_addr.t ->
+    ?src:Netsim.Ipv4_addr.t ->
+    path:string ->
+    unit ->
+    result option
+  (** One READ transaction; runs the network to completion.  [None] when
+      no reply came back at all (e.g. the request died at a filter). *)
+end

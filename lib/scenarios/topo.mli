@@ -1,0 +1,118 @@
+(** The paper's recurring topologies, parameterised.
+
+    The standard world has three stub domains joined by a chain of backbone
+    routers:
+
+    {v
+      home domain (36.1/16)        backbone           visited (131.7/16)
+      [ha][servers]--(hr)--(b0)--(b1)-..-(bn)--(vr)--[visited segment][mh]
+                              |
+                            (cr)  correspondent domain (44.2/16) [ch]
+    v}
+
+    - Figures 1-3: the correspondent far from the mobile host
+      ([ch_position = Inside_home] for the exact Figure 2 filtering story,
+      or [Remote]).
+    - Figures 4-5: [Near_visited] — the correspondent one hop from the
+      visited network while home is many hops away.
+    - Row C: [On_visited_segment] — correspondent and mobile host share a
+      link.
+
+    Filtering knobs reproduce §3.1: ingress source-address filtering at the
+    home boundary, transit prohibition at the visited boundary, and a
+    firewall home boundary that admits only tunnels to the home agent
+    (optionally hosting the home agent itself). *)
+
+type ch_position =
+  | Inside_home  (** on the home segment, like Figure 2's correspondent *)
+  | Remote  (** own domain hanging off the middle of the backbone *)
+  | Near_visited  (** own domain one backbone hop from the visited domain *)
+  | On_visited_segment  (** same Ethernet segment as the mobile host *)
+
+type filtering = {
+  home_ingress : bool;
+      (** boundary router drops outside packets claiming inside sources *)
+  visited_no_transit : bool;
+      (** visited boundary drops packets sourced from foreign addresses *)
+  home_firewall : bool;
+      (** home boundary admits only tunnels to the home agent from outside *)
+}
+
+val no_filtering : filtering
+val ingress_only : filtering
+val strict : filtering
+(** Both ingress filtering at home and transit prohibition at the visited
+    network — the world where only Out-IE works toward a conventional CH. *)
+
+type t = {
+  net : Netsim.Net.t;
+  (* home domain *)
+  home_prefix : Netsim.Ipv4_addr.Prefix.t;
+  home_segment : Netsim.Net.segment;
+  home_router : Netsim.Net.node;
+  ha : Mobileip.Home_agent.t;
+  (* visited domain *)
+  visited_prefix : Netsim.Ipv4_addr.Prefix.t;
+  visited_segment : Netsim.Net.segment;
+  visited_router : Netsim.Net.node;
+  dhcp : Transport.Dhcp.Server.t;
+  (* correspondent *)
+  ch_node : Netsim.Net.node;
+  ch : Mobileip.Correspondent.t;
+  ch_addr : Netsim.Ipv4_addr.t;
+  (* the mobile host, initially at home *)
+  mh_node : Netsim.Net.node;
+  mh : Mobileip.Mobile_host.t;
+  mh_home_addr : Netsim.Ipv4_addr.t;
+  (* misc *)
+  backbone : Netsim.Net.node list;
+  dns_node : Netsim.Net.node option;
+  dns : Mobileip.Dns_ext.Server.t option;
+  dns_addr : Netsim.Ipv4_addr.t option;
+  cellular_segment : Netsim.Net.segment option;
+  cellular_router : Netsim.Net.node option;
+}
+
+val build :
+  ?backbone_hops:int ->
+  ?ch_position:ch_position ->
+  ?filtering:filtering ->
+  ?ch_capability:Mobileip.Correspondent.capability ->
+  ?notify_correspondents:bool ->
+  ?with_dns:bool ->
+  ?encap:Mobileip.Encap.mode ->
+  ?link_latency:float ->
+  ?with_cellular:bool ->
+  unit ->
+  t
+(** Build the world.  Defaults: 4 backbone hops, [Remote] correspondent,
+    no filtering, conventional correspondent, no ICMP notifications, no
+    DNS server, IP-in-IP, 10 ms backbone links.  The mobile host starts at
+    home and is not yet registered anywhere.
+
+    [?with_cellular] adds a second way onto the Internet near the visited
+    domain: a cellular-telephone-style attachment (paper §1's "cellular
+    telephone and modem ... at about 40 cents per minute") — a segment
+    behind a 150 ms, 9600 bit/s, slightly lossy access link, with its own
+    DHCP service in 166.4.0.0/16.  Move the MH there with
+    {!roam_cellular}. *)
+
+val roam : t -> ?on_registered:(bool -> unit) -> unit -> unit
+(** Move the mobile host to the visited segment (DHCP attachment) and
+    register; run the network until the registration completes. *)
+
+val roam_static : t -> ?on_registered:(bool -> unit) -> unit -> unit
+(** Like {!roam} but with a statically assigned care-of address, avoiding
+    the DHCP exchange (useful when traces must stay minimal). *)
+
+val roam_cellular : t -> ?on_registered:(bool -> unit) -> unit -> unit
+(** Move the mobile host to the cellular attachment (requires
+    [~with_cellular:true] at build time).
+    @raise Invalid_argument otherwise. *)
+
+val come_home : t -> unit
+(** Return the mobile host to the home segment and deregister; runs the
+    network until complete. *)
+
+val run : t -> unit
+(** Drain the event queue. *)

@@ -1,0 +1,329 @@
+(* Home agent and correspondent specifics: ICMP notification rate
+   limiting, reverse-tunnel source checks, multiple simultaneous bindings,
+   binding-cache TTL at the correspondent, capability gating, and the
+   paper's closing remark that everything works when both hosts are
+   mobile. *)
+
+open Netsim
+
+let a = Ipv4_addr.of_string
+
+let test_notify_rate_limited () =
+  let topo =
+    Scenarios.Topo.build ~ch_capability:Mobileip.Correspondent.Mobile_aware
+      ~notify_correspondents:true ()
+  in
+  Scenarios.Topo.roam topo ();
+  (* Defeat the CH's In-DE switch so every datagram keeps flowing through
+     the home agent; the HA must still only advertise once per interval. *)
+  Mobileip.Correspondent.force_in_method topo.Scenarios.Topo.ch
+    ~dst:topo.Scenarios.Topo.mh_home_addr (Some Mobileip.Grid.In_IE);
+  let ch_udp = Transport.Udp_service.get topo.Scenarios.Topo.ch_node in
+  let eng = Net.engine topo.Scenarios.Topo.net in
+  for i = 0 to 9 do
+    Engine.after eng (float_of_int i *. 0.5) (fun () ->
+        ignore
+          (Transport.Udp_service.send ch_udp
+             ~dst:topo.Scenarios.Topo.mh_home_addr ~src_port:7000 ~dst_port:9
+             (Bytes.make 32 'n')))
+  done;
+  Scenarios.Topo.run topo;
+  Alcotest.(check int) "ten datagrams tunneled" 10
+    (Mobileip.Home_agent.packets_tunneled topo.Scenarios.Topo.ha);
+  (* 10 packets over 4.5 s with a 30 s interval: exactly one advert. *)
+  Alcotest.(check int) "one advert in the interval" 1
+    (Mobileip.Correspondent.adverts_received topo.Scenarios.Topo.ch)
+
+let test_reverse_tunnel_requires_registration () =
+  (* A tunnel whose inner source is not a registered mobile host must not
+     be relayed (the HA is not an open reflector). *)
+  let topo = Scenarios.Topo.build () in
+  Scenarios.Topo.roam topo ();
+  let attacker_home = a "36.1.0.66" in
+  let inner =
+    Ipv4_packet.make ~protocol:Ipv4_packet.P_udp ~src:attacker_home
+      ~dst:topo.Scenarios.Topo.ch_addr
+      (Ipv4_packet.Udp (Udp_wire.make ~src_port:1 ~dst_port:2 (Bytes.make 8 'v')))
+  in
+  let outer =
+    Mobileip.Encap.wrap Mobileip.Encap.Ipip ~src:(a "131.7.0.100")
+      ~dst:(Mobileip.Home_agent.address topo.Scenarios.Topo.ha) inner
+  in
+  let before = Mobileip.Home_agent.packets_reverse_tunneled topo.Scenarios.Topo.ha in
+  let flow = Net.send topo.Scenarios.Topo.mh_node outer in
+  Scenarios.Topo.run topo;
+  Alcotest.(check int) "not relayed" before
+    (Mobileip.Home_agent.packets_reverse_tunneled topo.Scenarios.Topo.ha);
+  Alcotest.(check bool) "never reaches the correspondent" false
+    (Trace.delivered (Net.trace topo.Scenarios.Topo.net) ~flow ~node:"ch")
+
+let test_two_mobile_hosts_one_home_agent () =
+  (* A second mobile host of the same home network roams to a different
+     place; the home agent maintains both bindings and tunnels each to its
+     own care-of address. *)
+  let topo = Scenarios.Topo.build () in
+  let net = topo.Scenarios.Topo.net in
+  (* Second MH at home. *)
+  let mh2_node = Net.add_host net "mh2" in
+  let mh2_iface =
+    Net.attach mh2_node topo.Scenarios.Topo.home_segment ~ifname:"eth0"
+      ~addr:(a "36.1.0.6") ~prefix:topo.Scenarios.Topo.home_prefix
+  in
+  Routing.add_default (Net.routing mh2_node) ~gateway:(a "36.1.0.1")
+    ~iface:"eth0";
+  let mh2 =
+    Mobileip.Mobile_host.create mh2_node ~iface:mh2_iface ~home:(a "36.1.0.6")
+      ~home_prefix:topo.Scenarios.Topo.home_prefix
+      ~home_agent:(Mobileip.Home_agent.address topo.Scenarios.Topo.ha) ()
+  in
+  (* A second visited network hanging off the correspondent router's
+     segment would complicate routing; reuse the same visited segment —
+     two visitors, two leases. *)
+  Scenarios.Topo.roam topo ();
+  Mobileip.Mobile_host.move_to_dhcp mh2 topo.Scenarios.Topo.visited_segment ();
+  Scenarios.Topo.run topo;
+  Alcotest.(check int) "two bindings" 2
+    (List.length (Mobileip.Home_agent.bindings topo.Scenarios.Topo.ha));
+  (* Ping both home addresses from the correspondent. *)
+  let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+  let got = ref 0 in
+  Transport.Icmp_service.ping icmp ~dst:(a "36.1.0.5") (fun ~rtt:_ -> incr got);
+  Transport.Icmp_service.ping icmp ~dst:(a "36.1.0.6") (fun ~rtt:_ -> incr got);
+  Scenarios.Topo.run topo;
+  Alcotest.(check int) "both reachable through their tunnels" 2 !got
+
+let test_both_hosts_mobile () =
+  (* §1: "the same techniques and optimizations apply equally well if both
+     hosts are mobile."  MH1 (home 36.1.0.5) roams to the visited network;
+     MH2 (home 36.1.0.6) stays registered from a second visited segment on
+     the correspondent's network.  MH1 pings MH2's home address: the
+     packet goes via MH2's home agent and both tunnels do their jobs. *)
+  let topo = Scenarios.Topo.build () in
+  let net = topo.Scenarios.Topo.net in
+  let mh2_node = Net.add_host net "mh2" in
+  let mh2_iface =
+    Net.attach mh2_node topo.Scenarios.Topo.home_segment ~ifname:"eth0"
+      ~addr:(a "36.1.0.6") ~prefix:topo.Scenarios.Topo.home_prefix
+  in
+  Routing.add_default (Net.routing mh2_node) ~gateway:(a "36.1.0.1")
+    ~iface:"eth0";
+  let mh2 =
+    Mobileip.Mobile_host.create mh2_node ~iface:mh2_iface ~home:(a "36.1.0.6")
+      ~home_prefix:topo.Scenarios.Topo.home_prefix
+      ~home_agent:(Mobileip.Home_agent.address topo.Scenarios.Topo.ha) ()
+  in
+  Scenarios.Topo.roam topo ();
+  Mobileip.Mobile_host.move_to_dhcp mh2 topo.Scenarios.Topo.visited_segment ();
+  Scenarios.Topo.run topo;
+  Alcotest.(check bool) "both registered" true
+    (Mobileip.Mobile_host.registered topo.Scenarios.Topo.mh
+    && Mobileip.Mobile_host.registered mh2);
+  let icmp1 = Transport.Icmp_service.get topo.Scenarios.Topo.mh_node in
+  let got = ref None in
+  (* MH1 -> MH2's home address, with Out-DH outgoing (no filters here). *)
+  Mobileip.Mobile_host.set_default_method topo.Scenarios.Topo.mh
+    Mobileip.Grid.Out_DH;
+  Transport.Icmp_service.ping icmp1 ~dst:(a "36.1.0.6") (fun ~rtt ->
+      got := Some rtt);
+  Scenarios.Topo.run topo;
+  Alcotest.(check bool) "mobile-to-mobile ping answered" true (!got <> None)
+
+let test_mh_driven_binding_update () =
+  (* [Joh96]-style route optimization: the MH proactively updates the
+     correspondent, which then switches to In-DE without ever involving
+     the home agent's notifications. *)
+  let topo =
+    Scenarios.Topo.build ~ch_capability:Mobileip.Correspondent.Mobile_aware ()
+  in
+  Scenarios.Topo.roam topo ();
+  Alcotest.(check bool) "update sent" true
+    (Mobileip.Mobile_host.send_binding_update topo.Scenarios.Topo.mh
+       ~correspondent:topo.Scenarios.Topo.ch_addr ());
+  Scenarios.Topo.run topo;
+  Alcotest.(check (option string)) "CH learned the care-of address"
+    (Some "131.7.0.100")
+    (Option.map Ipv4_addr.to_string
+       (Mobileip.Correspondent.cached_care_of topo.Scenarios.Topo.ch
+          ~home:topo.Scenarios.Topo.mh_home_addr));
+  (* Next CH->MH packet goes direct, never touching the HA. *)
+  let tunneled_before =
+    Mobileip.Home_agent.packets_tunneled topo.Scenarios.Topo.ha
+  in
+  let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+  let got = ref None in
+  Transport.Icmp_service.ping icmp ~dst:topo.Scenarios.Topo.mh_home_addr
+    (fun ~rtt -> got := Some rtt);
+  Scenarios.Topo.run topo;
+  Alcotest.(check bool) "answered" true (!got <> None);
+  Alcotest.(check int) "home agent bypassed entirely" tunneled_before
+    (Mobileip.Home_agent.packets_tunneled topo.Scenarios.Topo.ha);
+  (* At home there is nothing to advertise. *)
+  Scenarios.Topo.come_home topo;
+  Alcotest.(check bool) "no update at home" false
+    (Mobileip.Mobile_host.send_binding_update topo.Scenarios.Topo.mh
+       ~correspondent:topo.Scenarios.Topo.ch_addr ())
+
+let test_tcp_through_foreign_agent () =
+  (* A long-lived session keeps working when the attachment is via a
+     foreign agent: HA tunnel -> FA decapsulation -> link-layer final hop
+     on the way in, plain forwarding on the way out. *)
+  let topo = Scenarios.Topo.build () in
+  let fa_node = Net.add_router topo.Scenarios.Topo.net "fa" in
+  let fa_iface =
+    Net.attach fa_node topo.Scenarios.Topo.visited_segment ~ifname:"lan"
+      ~addr:(a "131.7.0.3") ~prefix:topo.Scenarios.Topo.visited_prefix
+  in
+  Routing.add_default (Net.routing fa_node) ~gateway:(a "131.7.0.1")
+    ~iface:"lan";
+  let fa = Mobileip.Foreign_agent.create fa_node ~iface:fa_iface () in
+  Scenarios.Workload.tcp_echo_server topo.Scenarios.Topo.ch_node
+    ~port:Transport.Well_known.telnet;
+  (* Connect at home first; then move behind the FA mid-session. *)
+  let tcp = Transport.Tcp.get topo.Scenarios.Topo.mh_node in
+  let conn =
+    Transport.Tcp.connect tcp ~src:topo.Scenarios.Topo.mh_home_addr
+      ~dst:topo.Scenarios.Topo.ch_addr ~dst_port:Transport.Well_known.telnet ()
+  in
+  let echoes = ref 0 in
+  Transport.Tcp.on_receive conn (fun _ -> incr echoes);
+  Transport.Tcp.send_data conn (Bytes.of_string "one");
+  Scenarios.Topo.run topo;
+  Mobileip.Mobile_host.move_to_foreign_agent topo.Scenarios.Topo.mh
+    topo.Scenarios.Topo.visited_segment ~fa_addr:(a "131.7.0.3") ();
+  Scenarios.Topo.run topo;
+  Transport.Tcp.send_data conn (Bytes.of_string "two");
+  Scenarios.Topo.run topo;
+  Alcotest.(check int) "both echoed" 2 !echoes;
+  Alcotest.(check bool) "still established" true
+    (Transport.Tcp.state conn = Transport.Tcp.Established);
+  Alcotest.(check bool) "fa delivered final hops" true
+    (Mobileip.Foreign_agent.packets_delivered fa >= 1)
+
+let test_conversation_latency_ordering () =
+  (* In-IE/Out-DH: the indirect reply must take measurably longer than the
+     direct request. *)
+  let topo =
+    Scenarios.Topo.build ~ch_capability:Mobileip.Correspondent.Mobile_aware ()
+  in
+  Scenarios.Topo.roam topo ();
+  Trace.clear (Net.trace topo.Scenarios.Topo.net);
+  let r =
+    Mobileip.Conversation.run_udp ~net:topo.Scenarios.Topo.net
+      ~mh:topo.Scenarios.Topo.mh ~ch:topo.Scenarios.Topo.ch
+      ~ch_addr:topo.Scenarios.Topo.ch_addr
+      ~cell:
+        {
+          Mobileip.Grid.incoming = Mobileip.Grid.In_IE;
+          outgoing = Mobileip.Grid.Out_DH;
+        }
+      ()
+  in
+  match (r.Mobileip.Conversation.request_latency, r.Mobileip.Conversation.reply_latency)
+  with
+  | Some req, Some rep ->
+      Alcotest.(check bool)
+        (Printf.sprintf "indirect reply slower (%.3f vs %.3f)" rep req)
+        true (rep > req)
+  | _ -> Alcotest.fail "latencies missing"
+
+let test_correspondent_cache_expiry () =
+  let topo =
+    Scenarios.Topo.build ~ch_capability:Mobileip.Correspondent.Mobile_aware ()
+  in
+  Scenarios.Topo.roam topo ();
+  let ch = topo.Scenarios.Topo.ch in
+  let home = topo.Scenarios.Topo.mh_home_addr in
+  Mobileip.Correspondent.learn_binding ch ~home ~care_of:(a "131.7.0.100")
+    ~lifetime:10;
+  Alcotest.(check bool) "cached" true
+    (Mobileip.Correspondent.cached_care_of ch ~home <> None);
+  Alcotest.(check string) "In-DE while fresh" "In-DE"
+    (Mobileip.Grid.in_to_string (Mobileip.Correspondent.in_method_for ch ~dst:home));
+  (* Let the TTL lapse. *)
+  Engine.after (Net.engine topo.Scenarios.Topo.net) 30.0 (fun () -> ());
+  Scenarios.Topo.run topo;
+  Alcotest.(check bool) "expired" true
+    (Mobileip.Correspondent.cached_care_of ch ~home = None);
+  Alcotest.(check string) "falls back to In-IE" "In-IE"
+    (Mobileip.Grid.in_to_string (Mobileip.Correspondent.in_method_for ch ~dst:home))
+
+let test_conventional_ch_ignores_adverts () =
+  let topo =
+    Scenarios.Topo.build ~ch_capability:Mobileip.Correspondent.Conventional
+      ~notify_correspondents:true ()
+  in
+  Scenarios.Topo.roam topo ();
+  let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+  let got = ref None in
+  Transport.Icmp_service.ping icmp ~dst:topo.Scenarios.Topo.mh_home_addr
+    (fun ~rtt -> got := Some rtt);
+  Scenarios.Topo.run topo;
+  Alcotest.(check bool) "ping works" true (!got <> None);
+  (* The HA sent an advert, but conventional software has no cache. *)
+  Alcotest.(check int) "no adverts accepted" 0
+    (Mobileip.Correspondent.adverts_received topo.Scenarios.Topo.ch);
+  Alcotest.(check bool) "no binding learned" true
+    (Mobileip.Correspondent.cached_care_of topo.Scenarios.Topo.ch
+       ~home:topo.Scenarios.Topo.mh_home_addr
+    = None)
+
+let test_learn_binding_gated_by_capability () =
+  let topo =
+    Scenarios.Topo.build ~ch_capability:Mobileip.Correspondent.Decap_capable ()
+  in
+  let ch = topo.Scenarios.Topo.ch in
+  Mobileip.Correspondent.learn_binding ch ~home:(a "36.1.0.5")
+    ~care_of:(a "131.7.0.100") ~lifetime:100;
+  Alcotest.(check bool) "decap-capable keeps no cache" true
+    (Mobileip.Correspondent.cached_care_of ch ~home:(a "36.1.0.5") = None)
+
+let test_forced_in_de_without_binding_discards () =
+  let topo =
+    Scenarios.Topo.build ~ch_capability:Mobileip.Correspondent.Mobile_aware ()
+  in
+  Scenarios.Topo.roam topo ();
+  let ch = topo.Scenarios.Topo.ch in
+  let home = topo.Scenarios.Topo.mh_home_addr in
+  Mobileip.Correspondent.force_in_method ch ~dst:home (Some Mobileip.Grid.In_DE);
+  (* No binding learned: the send is dropped locally rather than
+     misdelivered. *)
+  Trace.clear (Net.trace topo.Scenarios.Topo.net);
+  let udp = Transport.Udp_service.get topo.Scenarios.Topo.ch_node in
+  let flow =
+    Transport.Udp_service.send udp ~dst:home ~src_port:7000 ~dst_port:9
+      (Bytes.make 8 'x')
+  in
+  Scenarios.Topo.run topo;
+  Alcotest.(check bool) "dropped locally" true
+    (List.exists
+       (fun (n, _) -> n = "ch")
+       (Trace.drops (Net.trace topo.Scenarios.Topo.net) ~flow));
+  Alcotest.(check bool) "not delivered" false
+    (Trace.delivered (Net.trace topo.Scenarios.Topo.net) ~flow ~node:"mh")
+
+let suites =
+  [
+    ( "agents",
+      [
+        Alcotest.test_case "notify rate limited" `Quick test_notify_rate_limited;
+        Alcotest.test_case "reverse tunnel requires registration" `Quick
+          test_reverse_tunnel_requires_registration;
+        Alcotest.test_case "two mobile hosts, one home agent" `Quick
+          test_two_mobile_hosts_one_home_agent;
+        Alcotest.test_case "both hosts mobile" `Quick test_both_hosts_mobile;
+        Alcotest.test_case "mh-driven binding update" `Quick
+          test_mh_driven_binding_update;
+        Alcotest.test_case "tcp through foreign agent" `Quick
+          test_tcp_through_foreign_agent;
+        Alcotest.test_case "conversation latency ordering" `Quick
+          test_conversation_latency_ordering;
+        Alcotest.test_case "correspondent cache expiry" `Quick
+          test_correspondent_cache_expiry;
+        Alcotest.test_case "conventional CH ignores adverts" `Quick
+          test_conventional_ch_ignores_adverts;
+        Alcotest.test_case "learn_binding gated by capability" `Quick
+          test_learn_binding_gated_by_capability;
+        Alcotest.test_case "forced In-DE without binding discards" `Quick
+          test_forced_in_de_without_binding_discards;
+      ] );
+  ]

@@ -1,0 +1,118 @@
+(* Eager movement detection: the interface is physically re-attached
+   (Net.reattach — someone carried the laptop); the mobility software
+   notices via agent advertisements, re-attaches and re-registers with no
+   explicit move_to_* call. *)
+
+open Netsim
+
+let a = Ipv4_addr.of_string
+
+(* A world with advertising agents on both the visited segment and the
+   home segment. *)
+let world () =
+  let topo = Scenarios.Topo.build () in
+  let fa_node = Net.add_router topo.Scenarios.Topo.net "fa" in
+  let fa_iface =
+    Net.attach fa_node topo.Scenarios.Topo.visited_segment ~ifname:"lan"
+      ~addr:(a "131.7.0.3") ~prefix:topo.Scenarios.Topo.visited_prefix
+  in
+  Routing.add_default (Net.routing fa_node) ~gateway:(a "131.7.0.1")
+    ~iface:"lan";
+  let _fa =
+    Mobileip.Foreign_agent.create fa_node ~iface:fa_iface ~advert_interval:0.5
+      ~advert_count:100 ()
+  in
+  (* The home agent also advertises on the home segment (home-network
+     detection).  Reuse the agent beacon: a foreign agent object that only
+     advertises. *)
+  let ha_beacon = Net.add_host topo.Scenarios.Topo.net "ha-beacon" in
+  let hb_iface =
+    Net.attach ha_beacon topo.Scenarios.Topo.home_segment ~ifname:"eth0"
+      ~addr:(a "36.1.0.4") ~prefix:topo.Scenarios.Topo.home_prefix
+  in
+  let _hb =
+    Mobileip.Foreign_agent.create ha_beacon ~iface:hb_iface
+      ~advert_interval:0.5 ~advert_count:100 ()
+  in
+  topo
+
+let test_auto_attach_on_physical_move () =
+  let topo = world () in
+  let mh = topo.Scenarios.Topo.mh in
+  Mobileip.Mobile_host.enable_auto_attach mh;
+  (* Carry the laptop to the visited network; tell the software nothing. *)
+  Net.reattach
+    (Option.get (Net.find_iface topo.Scenarios.Topo.mh_node "eth0"))
+    topo.Scenarios.Topo.visited_segment;
+  Net.clear_arp topo.Scenarios.Topo.mh_node;
+  Net.run ~until:20.0 topo.Scenarios.Topo.net;
+  Alcotest.(check bool) "noticed and re-registered" true
+    (Mobileip.Mobile_host.registered mh);
+  Alcotest.(check int) "one auto attach" 1
+    (Mobileip.Mobile_host.auto_attaches mh);
+  Alcotest.(check (option string)) "care-of from visited pool"
+    (Some "131.7.0.100")
+    (Option.map Ipv4_addr.to_string (Mobileip.Mobile_host.care_of_address mh));
+  (* Traffic flows through the tunnel as usual. *)
+  let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+  let got = ref None in
+  Transport.Icmp_service.ping icmp ~dst:topo.Scenarios.Topo.mh_home_addr
+    (fun ~rtt -> got := Some rtt);
+  Net.run ~until:40.0 topo.Scenarios.Topo.net;
+  Alcotest.(check bool) "reachable after auto-attach" true (!got <> None)
+
+let test_auto_return_home () =
+  let topo = world () in
+  let mh = topo.Scenarios.Topo.mh in
+  Mobileip.Mobile_host.enable_auto_attach mh;
+  let iface = Option.get (Net.find_iface topo.Scenarios.Topo.mh_node "eth0") in
+  Net.reattach iface topo.Scenarios.Topo.visited_segment;
+  Net.clear_arp topo.Scenarios.Topo.mh_node;
+  Net.run ~until:20.0 topo.Scenarios.Topo.net;
+  Alcotest.(check bool) "away" true
+    (not (Mobileip.Mobile_host.at_home mh));
+  (* Carry it home again. *)
+  Net.reattach iface topo.Scenarios.Topo.home_segment;
+  Net.clear_arp topo.Scenarios.Topo.mh_node;
+  Net.run ~until:40.0 topo.Scenarios.Topo.net;
+  Alcotest.(check bool) "noticed it is home" true
+    (Mobileip.Mobile_host.at_home mh);
+  Alcotest.(check bool) "binding withdrawn" true
+    (Mobileip.Home_agent.bindings topo.Scenarios.Topo.ha = [])
+
+let test_same_network_adverts_ignored () =
+  let topo = world () in
+  let mh = topo.Scenarios.Topo.mh in
+  Mobileip.Mobile_host.enable_auto_attach mh;
+  (* Sitting at home, hearing the home beacon: nothing should happen. *)
+  Net.run ~until:10.0 topo.Scenarios.Topo.net;
+  Alcotest.(check int) "no spurious attaches" 0
+    (Mobileip.Mobile_host.auto_attaches mh);
+  Alcotest.(check bool) "still at home" true (Mobileip.Mobile_host.at_home mh)
+
+let test_disable_auto_attach () =
+  let topo = world () in
+  let mh = topo.Scenarios.Topo.mh in
+  Mobileip.Mobile_host.enable_auto_attach mh;
+  Mobileip.Mobile_host.disable_auto_attach mh;
+  Net.reattach
+    (Option.get (Net.find_iface topo.Scenarios.Topo.mh_node "eth0"))
+    topo.Scenarios.Topo.visited_segment;
+  Net.clear_arp topo.Scenarios.Topo.mh_node;
+  Net.run ~until:10.0 topo.Scenarios.Topo.net;
+  Alcotest.(check int) "no attach when disabled" 0
+    (Mobileip.Mobile_host.auto_attaches mh)
+
+let suites =
+  [
+    ( "auto-attach",
+      [
+        Alcotest.test_case "auto attach on physical move" `Quick
+          test_auto_attach_on_physical_move;
+        Alcotest.test_case "auto return home" `Quick test_auto_return_home;
+        Alcotest.test_case "same-network adverts ignored" `Quick
+          test_same_network_adverts_ignored;
+        Alcotest.test_case "disable auto attach" `Quick
+          test_disable_auto_attach;
+      ] );
+  ]

@@ -1,0 +1,148 @@
+(* The priority queue and the discrete-event engine: ordering, FIFO ties,
+   cancellation, bounded runs, determinism. *)
+
+open Netsim
+
+let test_pqueue_orders () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.add q ~priority:p v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "z") ];
+  let order = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "min first" [ "z"; "a"; "b"; "c" ]
+    (List.rev !order)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  for i = 0 to 9 do
+    Pqueue.add q ~priority:1.0 i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "insertion order among ties"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !out)
+
+let test_pqueue_peek_stable () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~priority:2.0 "b";
+  Pqueue.add q ~priority:1.0 "a";
+  (match Pqueue.peek q with
+  | Some (p, v) ->
+      Alcotest.(check string) "peek min" "a" v;
+      Alcotest.(check (float 0.0)) "priority" 1.0 p
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "peek does not remove" 2 (Pqueue.length q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.add q ~priority:p i) priorities;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some (p, _) -> drain (p :: acc)
+        | None -> List.rev acc
+      in
+      let drained = drain [] in
+      drained = List.sort compare priorities)
+
+let test_engine_runs_in_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:2.0 (fun () -> log := "second" :: !log);
+  Engine.schedule e ~at:1.0 (fun () -> log := "first" :: !log);
+  Engine.after e 3.0 (fun () -> log := "third" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "first"; "second"; "third" ]
+    (List.rev !log);
+  Alcotest.(check (float 0.0)) "clock at last event" 3.0 (Engine.now e)
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:5.0 (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "past"
+    (Invalid_argument "Engine.schedule: time 1 is before now (5)") (fun () ->
+      Engine.schedule e ~at:1.0 (fun () -> ()))
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule e ~at:t (fun () -> fired := t :: !fired))
+    [ 1.0; 2.0; 3.0; 4.0 ];
+  Engine.run ~until:2.5 e;
+  Alcotest.(check (list (float 0.0))) "only early events" [ 1.0; 2.0 ]
+    (List.rev !fired);
+  Alcotest.(check (float 0.0)) "clock clamped" 2.5 (Engine.now e);
+  Alcotest.(check int) "rest still queued" 2 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "all fired eventually" 4 (List.length !fired)
+
+let test_engine_cancellation () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let cancel = Engine.cancellable_after e 1.0 (fun () -> fired := true) in
+  cancel ();
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_cascading_events () =
+  (* Events scheduling events; the chain must run to completion. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then begin
+      incr count;
+      Engine.after e 0.1 (fun () -> chain (n - 1))
+    end
+  in
+  chain 50;
+  Engine.run e;
+  Alcotest.(check int) "all 50 links ran" 50 !count;
+  Alcotest.(check bool) "time advanced" true (Engine.now e > 4.8)
+
+let test_engine_step () =
+  let e = Engine.create () in
+  let n = ref 0 in
+  Engine.after e 1.0 (fun () -> incr n);
+  Engine.after e 2.0 (fun () -> incr n);
+  Alcotest.(check bool) "step 1" true (Engine.step e);
+  Alcotest.(check int) "one ran" 1 !n;
+  Alcotest.(check bool) "step 2" true (Engine.step e);
+  Alcotest.(check bool) "empty" false (Engine.step e)
+
+let suites =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "pqueue orders" `Quick test_pqueue_orders;
+        Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_ties;
+        Alcotest.test_case "pqueue peek" `Quick test_pqueue_peek_stable;
+        QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+        Alcotest.test_case "engine runs in order" `Quick
+          test_engine_runs_in_order;
+        Alcotest.test_case "engine rejects past" `Quick test_engine_rejects_past;
+        Alcotest.test_case "engine until" `Quick test_engine_until;
+        Alcotest.test_case "engine cancellation" `Quick test_engine_cancellation;
+        Alcotest.test_case "engine cascading events" `Quick
+          test_engine_cascading_events;
+        Alcotest.test_case "engine step" `Quick test_engine_step;
+      ] );
+  ]

@@ -1,0 +1,124 @@
+(* Smoke tests over the experiment registry: every table builds, has rows,
+   and asserts the paper's qualitative claims from its own numbers (the
+   deep checks live in the per-topic suites; these guard the harness). *)
+
+let find id =
+  match Experiments.Registry.find id with
+  | Some f -> f ()
+  | None -> Alcotest.failf "experiment %s not registered" id
+
+let test_registry_complete () =
+  let ids = List.map (fun (id, _, _) -> id) Experiments.Registry.all in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " registered") true
+        (List.mem expected ids))
+    [
+      "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
+      "E12"; "E13"; "E14"; "E15"; "A1"; "A2";
+    ];
+  Alcotest.(check bool) "lookup case-insensitive" true
+    (Experiments.Registry.find "e8" <> None);
+  Alcotest.(check bool) "unknown id rejected" true
+    (Experiments.Registry.find "E99" = None)
+
+let test_tables_well_formed () =
+  List.iter
+    (fun (id, _, run) ->
+      let t = run () in
+      Alcotest.(check string) (id ^ " id") id t.Experiments.Table.id;
+      Alcotest.(check bool) (id ^ " has rows") true
+        (t.Experiments.Table.rows <> []);
+      let width = List.length t.Experiments.Table.columns in
+      List.iter
+        (fun row ->
+          Alcotest.(check int) (id ^ " row width") width (List.length row))
+        t.Experiments.Table.rows;
+      (* Rendering must not raise. *)
+      let buf = Buffer.create 256 in
+      Experiments.Table.render (Format.formatter_of_buffer buf) t;
+      Alcotest.(check bool) (id ^ " renders") true (Buffer.length buf > 0))
+    Experiments.Registry.all
+
+let cell_of_row t ~row ~col =
+  List.nth (List.nth t.Experiments.Table.rows row) col
+
+let test_e2_shape () =
+  let t = find "E2" in
+  Alcotest.(check string) "Out-DH dies" "0%" (cell_of_row t ~row:0 ~col:1);
+  Alcotest.(check string) "Out-IE lives" "100%" (cell_of_row t ~row:1 ~col:1)
+
+let test_e4_monotone () =
+  let t = find "E4" in
+  let ratios =
+    List.map
+      (fun row -> float_of_string (List.nth row 5))
+      t.Experiments.Table.rows
+  in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a < b && ascending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "penalty grows with distance to home" true
+    (ascending ratios)
+
+let test_e8_grid_classification_consistency () =
+  let t = find "E8" in
+  Alcotest.(check int) "sixteen rows" 16 (List.length t.Experiments.Table.rows);
+  List.iter
+    (fun row ->
+      let classification = List.nth row 1 in
+      let tcp_safe = List.nth row 4 in
+      Alcotest.(check bool)
+        (List.nth row 0 ^ ": BROKEN iff not tcp-safe")
+        (classification = "BROKEN") (tcp_safe = "NO"))
+    t.Experiments.Table.rows
+
+let test_e9_doubling_window () =
+  let t = find "E9" in
+  let effects = List.map (fun row -> (List.hd row, List.nth row 5)) t.Experiments.Table.rows in
+  Alcotest.(check (option string)) "1453 doubled" (Some "doubled")
+    (List.assoc_opt "1453" effects);
+  Alcotest.(check (option string)) "1472 doubled" (Some "doubled")
+    (List.assoc_opt "1472" effects);
+  Alcotest.(check (option string)) "1452 same" (Some "same")
+    (List.assoc_opt "1452" effects);
+  Alcotest.(check (option string)) "1600 same" (Some "same")
+    (List.assoc_opt "1600" effects)
+
+let test_e13_all_work () =
+  let t = find "E13" in
+  List.iter
+    (fun row ->
+      Alcotest.(check string) (List.hd row ^ " works") "yes" (List.nth row 2))
+    t.Experiments.Table.rows
+
+let test_e15_monotone_load () =
+  let t = find "E15" in
+  let backbone row = int_of_string (List.nth (List.nth t.Experiments.Table.rows row) 2) in
+  Alcotest.(check bool) "optimization strictly reduces backbone load" true
+    (backbone 0 > backbone 1 && backbone 1 > backbone 2)
+
+let test_a1_shape () =
+  let t = find "A1" in
+  let delivered row = List.nth (List.nth t.Experiments.Table.rows row) 1 in
+  Alcotest.(check string) "tunnel works filtered" "yes" (delivered 2);
+  Alcotest.(check string) "lsr dies filtered" "NO" (delivered 3)
+
+let suites =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "registry complete" `Quick test_registry_complete;
+        Alcotest.test_case "all tables well formed" `Slow
+          test_tables_well_formed;
+        Alcotest.test_case "E2 shape" `Quick test_e2_shape;
+        Alcotest.test_case "E4 monotone penalty" `Quick test_e4_monotone;
+        Alcotest.test_case "E8 classification consistency" `Slow
+          test_e8_grid_classification_consistency;
+        Alcotest.test_case "E9 doubling window" `Quick test_e9_doubling_window;
+        Alcotest.test_case "E13 chosen cells work" `Quick test_e13_all_work;
+        Alcotest.test_case "E15 monotone load" `Quick test_e15_monotone_load;
+        Alcotest.test_case "A1 filtering verdicts" `Quick test_a1_shape;
+      ] );
+  ]

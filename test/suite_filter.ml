@@ -1,0 +1,161 @@
+(* Boundary-router filter policies: each constructor, rule ordering,
+   defaults. *)
+
+open Netsim
+
+let a = Ipv4_addr.of_string
+let p = Ipv4_addr.Prefix.of_string
+
+let pkt ?(protocol = Ipv4_packet.P_udp) ~src ~dst () =
+  Ipv4_packet.make ~protocol ~src:(a src) ~dst:(a dst)
+    (Ipv4_packet.Raw Bytes.empty)
+
+let is_pass = function Filter.Pass -> true | Filter.Reject _ -> false
+
+let reject_reason = function
+  | Filter.Reject r -> Some r
+  | Filter.Pass -> None
+
+let test_accept_all () =
+  Alcotest.(check bool) "pass" true
+    (is_pass
+       (Filter.evaluate Filter.accept_all ~in_iface:"any"
+          (pkt ~src:"1.1.1.1" ~dst:"2.2.2.2" ())))
+
+let ingress_policy =
+  Filter.of_rules
+    [
+      Filter.ingress_source_filter ~external_iface:"wan"
+        ~inside:[ p "36.1.0.0/16"; p "36.2.0.0/16" ];
+    ]
+
+let test_ingress_filter_drops_spoof () =
+  let spoof = pkt ~src:"36.1.0.5" ~dst:"36.1.0.9" () in
+  match Filter.evaluate ingress_policy ~in_iface:"wan" spoof with
+  | Filter.Reject Trace.Ingress_filter -> ()
+  | v ->
+      Alcotest.failf "expected ingress-filter rejection, got %s"
+        (if is_pass v then "pass" else "other rejection")
+
+let test_ingress_filter_scoped_to_iface () =
+  (* The same source arriving on the inside interface is normal traffic. *)
+  let local = pkt ~src:"36.1.0.5" ~dst:"44.0.0.1" () in
+  Alcotest.(check bool) "inside iface passes" true
+    (is_pass (Filter.evaluate ingress_policy ~in_iface:"lan" local))
+
+let test_ingress_filter_passes_outside_sources () =
+  let normal = pkt ~src:"44.0.0.1" ~dst:"36.1.0.9" () in
+  Alcotest.(check bool) "legit outside source passes" true
+    (is_pass (Filter.evaluate ingress_policy ~in_iface:"wan" normal))
+
+let test_second_inside_prefix_matched () =
+  let spoof2 = pkt ~src:"36.2.7.7" ~dst:"36.1.0.9" () in
+  Alcotest.(check bool) "second prefix also filtered" false
+    (is_pass (Filter.evaluate ingress_policy ~in_iface:"wan" spoof2))
+
+let no_transit_policy =
+  Filter.of_rules
+    [ Filter.no_transit ~internal_iface:"lan" ~inside:[ p "131.7.0.0/16" ] ]
+
+let test_no_transit_drops_foreign_source () =
+  let foreign = pkt ~src:"36.1.0.5" ~dst:"44.0.0.1" () in
+  match Filter.evaluate no_transit_policy ~in_iface:"lan" foreign with
+  | Filter.Reject Trace.Transit_filter -> ()
+  | _ -> Alcotest.fail "foreign source on tail circuit must drop"
+
+let test_no_transit_passes_local_source () =
+  let local = pkt ~src:"131.7.0.100" ~dst:"44.0.0.1" () in
+  Alcotest.(check bool) "local source passes" true
+    (is_pass (Filter.evaluate no_transit_policy ~in_iface:"lan" local))
+
+let firewall_policy ha =
+  Filter.of_rules
+    [
+      Filter.firewall_allow_tunnel_to ~external_iface:"wan" ~home_agent:(a ha);
+      Filter.firewall_block_external ~external_iface:"wan" ~name:"fw";
+    ]
+
+let test_firewall_allows_tunnels_to_ha () =
+  let policy = firewall_policy "36.1.0.2" in
+  let tunnel =
+    pkt ~protocol:Ipv4_packet.P_ipip ~src:"131.7.0.100" ~dst:"36.1.0.2" ()
+  in
+  Alcotest.(check bool) "ipip to HA passes" true
+    (is_pass (Filter.evaluate policy ~in_iface:"wan" tunnel));
+  let gre =
+    pkt ~protocol:Ipv4_packet.P_gre ~src:"131.7.0.100" ~dst:"36.1.0.2" ()
+  in
+  Alcotest.(check bool) "gre to HA passes" true
+    (is_pass (Filter.evaluate policy ~in_iface:"wan" gre))
+
+let test_firewall_blocks_everything_else () =
+  let policy = firewall_policy "36.1.0.2" in
+  let plain = pkt ~src:"131.7.0.100" ~dst:"36.1.0.9" () in
+  (match Filter.evaluate policy ~in_iface:"wan" plain with
+  | Filter.Reject (Trace.Firewall _) -> ()
+  | _ -> Alcotest.fail "plain packet must be blocked");
+  (* A tunnel to a non-HA host is also blocked. *)
+  let tunnel_elsewhere =
+    pkt ~protocol:Ipv4_packet.P_ipip ~src:"131.7.0.100" ~dst:"36.1.0.9" ()
+  in
+  Alcotest.(check bool) "tunnel to non-HA blocked" false
+    (is_pass (Filter.evaluate policy ~in_iface:"wan" tunnel_elsewhere));
+  (* Traffic on the inside interface is unaffected. *)
+  let inside = pkt ~src:"36.1.0.9" ~dst:"131.7.0.100" () in
+  Alcotest.(check bool) "inside passes" true
+    (is_pass (Filter.evaluate policy ~in_iface:"lan" inside))
+
+let test_rule_order_first_match_wins () =
+  let policy =
+    Filter.of_rules
+      [
+        Filter.allow ~in_iface:"wan" ~src_in:(p "44.0.0.0/8") ();
+        Filter.deny ~in_iface:"wan" ~reason:(Trace.Custom "deny-rest") ();
+      ]
+  in
+  Alcotest.(check bool) "allowed prefix passes" true
+    (is_pass
+       (Filter.evaluate policy ~in_iface:"wan" (pkt ~src:"44.1.1.1" ~dst:"1.1.1.1" ())));
+  Alcotest.(check bool) "everything else denied" false
+    (is_pass
+       (Filter.evaluate policy ~in_iface:"wan" (pkt ~src:"45.1.1.1" ~dst:"1.1.1.1" ())))
+
+let test_default_deny () =
+  let policy =
+    Filter.of_rules_default_deny ~reason:(Trace.Custom "closed")
+      [ Filter.allow ~protocol:Ipv4_packet.P_icmp () ]
+  in
+  Alcotest.(check bool) "icmp passes" true
+    (is_pass
+       (Filter.evaluate policy ~in_iface:"x"
+          (pkt ~protocol:Ipv4_packet.P_icmp ~src:"1.1.1.1" ~dst:"2.2.2.2" ())));
+  Alcotest.(check bool) "udp denied by default" false
+    (is_pass
+       (Filter.evaluate policy ~in_iface:"x" (pkt ~src:"1.1.1.1" ~dst:"2.2.2.2" ())))
+
+let suites =
+  [
+    ( "filter",
+      [
+        Alcotest.test_case "accept all" `Quick test_accept_all;
+        Alcotest.test_case "ingress drops spoof" `Quick
+          test_ingress_filter_drops_spoof;
+        Alcotest.test_case "ingress scoped to iface" `Quick
+          test_ingress_filter_scoped_to_iface;
+        Alcotest.test_case "ingress passes outside sources" `Quick
+          test_ingress_filter_passes_outside_sources;
+        Alcotest.test_case "multiple inside prefixes" `Quick
+          test_second_inside_prefix_matched;
+        Alcotest.test_case "no-transit drops foreign" `Quick
+          test_no_transit_drops_foreign_source;
+        Alcotest.test_case "no-transit passes local" `Quick
+          test_no_transit_passes_local_source;
+        Alcotest.test_case "firewall allows HA tunnels" `Quick
+          test_firewall_allows_tunnels_to_ha;
+        Alcotest.test_case "firewall blocks the rest" `Quick
+          test_firewall_blocks_everything_else;
+        Alcotest.test_case "first match wins" `Quick
+          test_rule_order_first_match_wins;
+        Alcotest.test_case "default deny" `Quick test_default_deny;
+      ] );
+  ]

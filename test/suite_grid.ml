@@ -1,0 +1,307 @@
+(* The 4x4 grid: pure classification tests plus live conversations over
+   every cell (Figure 10). *)
+
+open Mobileip
+
+let cell i o = { Grid.incoming = i; outgoing = o }
+
+let test_sixteen_cells () =
+  Alcotest.(check int) "sixteen cells" 16 (List.length Grid.all_cells)
+
+let test_seven_useful () =
+  Alcotest.(check int) "seven useful cells" 7 (List.length Grid.useful_cells);
+  let expect =
+    [
+      cell Grid.In_IE Grid.Out_IE;
+      cell Grid.In_IE Grid.Out_DE;
+      cell Grid.In_IE Grid.Out_DH;
+      cell Grid.In_DE Grid.Out_DE;
+      cell Grid.In_DE Grid.Out_DH;
+      cell Grid.In_DH Grid.Out_DH;
+      cell Grid.In_DT Grid.Out_DT;
+    ]
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Grid.cell_to_string c ^ " useful")
+        true
+        (List.exists (Grid.equal_cell c) Grid.useful_cells))
+    expect
+
+let test_broken_cells_are_row4_col4 () =
+  List.iter
+    (fun c ->
+      let expected_broken =
+        (c.Grid.incoming = Grid.In_DT) <> (c.Grid.outgoing = Grid.Out_DT)
+      in
+      Alcotest.(check bool)
+        (Grid.cell_to_string c ^ " brokenness")
+        expected_broken
+        (Grid.classify c = Grid.Broken))
+    Grid.all_cells
+
+let test_valid_but_unlikely () =
+  let expect =
+    [
+      cell Grid.In_DE Grid.Out_IE;
+      cell Grid.In_DH Grid.Out_IE;
+      cell Grid.In_DH Grid.Out_DE;
+    ]
+  in
+  let actual =
+    List.filter (fun c -> Grid.classify c = Grid.Valid_but_unlikely) Grid.all_cells
+  in
+  Alcotest.(check int) "three lightly-shaded cells" 3 (List.length actual);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Grid.cell_to_string c)
+        true
+        (List.exists (Grid.equal_cell c) actual))
+    expect
+
+let test_endpoint_consistency_matches_classification () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Grid.cell_to_string c ^ " consistency iff not broken")
+        (Grid.endpoint_consistent c)
+        (Grid.classify c <> Grid.Broken))
+    Grid.all_cells
+
+(* The series of tests (§6 / abstract). *)
+let test_best_choice () =
+  let base = Grid.default_environment in
+  let check name env expected =
+    Alcotest.(check string) name expected (Grid.cell_to_string (Grid.best env))
+  in
+  check "no mobility needed -> Row D"
+    { base with Grid.mobility_required = false }
+    "In-DT/Out-DT";
+  check "privacy -> full tunneling" { base with Grid.privacy_required = true }
+    "In-IE/Out-IE";
+  check "same segment -> Row C" { base with Grid.same_segment = true }
+    "In-DH/Out-DH";
+  check "conventional CH, filtering -> most conservative" base "In-IE/Out-IE";
+  check "conventional CH, no filtering -> In-IE/Out-DH"
+    { base with Grid.source_filtering_on_path = false }
+    "In-IE/Out-DH";
+  check "decap-capable CH under filtering -> In-IE/Out-DE"
+    { base with Grid.ch_decapsulates = true }
+    "In-IE/Out-DE";
+  check "mobile-aware CH with coa, no filtering -> In-DE/Out-DH"
+    {
+      base with
+      Grid.ch_mobile_aware = true;
+      ch_knows_care_of = true;
+      source_filtering_on_path = false;
+    }
+    "In-DE/Out-DH";
+  check "mobile-aware CH with coa, filtering -> In-DE/Out-DE"
+    { base with Grid.ch_mobile_aware = true; ch_knows_care_of = true }
+    "In-DE/Out-DE"
+
+let test_best_is_always_applicable () =
+  (* Exhaustive: over all 128 environments, the chosen cell must be
+     applicable and never broken. *)
+  let bools = [ false; true ] in
+  List.iter
+    (fun mobility_required ->
+      List.iter
+        (fun privacy_required ->
+          List.iter
+            (fun source_filtering_on_path ->
+              List.iter
+                (fun ch_decapsulates ->
+                  List.iter
+                    (fun ch_mobile_aware ->
+                      List.iter
+                        (fun ch_knows_care_of ->
+                          List.iter
+                            (fun same_segment ->
+                              let env =
+                                {
+                                  Grid.mobility_required;
+                                  privacy_required;
+                                  source_filtering_on_path;
+                                  ch_decapsulates;
+                                  ch_mobile_aware;
+                                  ch_knows_care_of;
+                                  same_segment;
+                                }
+                              in
+                              let c = Grid.best env in
+                              Alcotest.(check bool)
+                                (Grid.cell_to_string c ^ " applicable")
+                                true
+                                (Grid.cell_applicable env c))
+                            bools)
+                        bools)
+                    bools)
+                bools)
+            bools)
+        bools)
+    bools
+
+(* ---- live conversations over every cell ---- *)
+
+let build_world ~same_segment () =
+  let topo =
+    Scenarios.Topo.build
+      ~ch_position:
+        (if same_segment then Scenarios.Topo.On_visited_segment
+         else Scenarios.Topo.Remote)
+      ~ch_capability:Correspondent.Mobile_aware ()
+  in
+  Scenarios.Topo.roam topo ();
+  Netsim.Trace.clear (Netsim.Net.trace topo.Scenarios.Topo.net);
+  topo
+
+let run_cell ?(same_segment = false) c =
+  let topo = build_world ~same_segment () in
+  Conversation.run_udp ~net:topo.Scenarios.Topo.net ~mh:topo.Scenarios.Topo.mh
+    ~ch:topo.Scenarios.Topo.ch ~ch_addr:topo.Scenarios.Topo.ch_addr ~cell:c ()
+
+let test_all_cells_delivery_and_consistency () =
+  (* Physical delivery should succeed for every cell except the In-DH row
+     off-segment; transport consistency must match the grid's verdict. *)
+  List.iter
+    (fun c ->
+      let same_segment = c.Grid.incoming = Grid.In_DH in
+      let r = run_cell ~same_segment c in
+      let name = Grid.cell_to_string c in
+      Alcotest.(check int)
+        (name ^ " requests delivered")
+        r.Conversation.requests_sent r.Conversation.requests_delivered;
+      Alcotest.(check int)
+        (name ^ " replies delivered")
+        r.Conversation.replies_sent r.Conversation.replies_delivered;
+      Alcotest.(check bool)
+        (name ^ " transport consistency matches Figure 10")
+        (Grid.endpoint_consistent c)
+        r.Conversation.transport_consistent)
+    Grid.all_cells
+
+let test_in_dh_fails_off_segment () =
+  (* In-DH is only applicable on a shared segment: remotely, the CH's
+     forced In-DH send is discarded. *)
+  let c = cell Grid.In_DH Grid.Out_DH in
+  let r = run_cell ~same_segment:false c in
+  Alcotest.(check int) "no replies arrive" 0 r.Conversation.replies_delivered
+
+let test_indirect_costs_more_than_direct () =
+  (* In-IE replies travel via the home agent: more hops and more wire bytes
+     than the Out-DH direct requests. *)
+  let r = run_cell (cell Grid.In_IE Grid.Out_DH) in
+  Alcotest.(check bool) "reply hops exceed request hops" true
+    (r.Conversation.reply_hops > r.Conversation.request_hops);
+  Alcotest.(check bool) "reply bytes exceed request bytes" true
+    (r.Conversation.reply_wire_bytes > r.Conversation.request_wire_bytes)
+
+let test_encapsulation_overhead_visible () =
+  (* Out-IE requests carry 20 extra bytes per packet and go indirect;
+     Out-DH requests are plain and direct. *)
+  let r_ie = run_cell (cell Grid.In_IE Grid.Out_IE) in
+  let r_dh = run_cell (cell Grid.In_IE Grid.Out_DH) in
+  Alcotest.(check bool) "Out-IE request travels further" true
+    (r_ie.Conversation.request_hops > r_dh.Conversation.request_hops);
+  Alcotest.(check bool) "Out-IE request costs more bytes" true
+    (r_ie.Conversation.request_wire_bytes
+    > r_dh.Conversation.request_wire_bytes)
+
+let test_tcp_over_useful_cells () =
+  (* A real TCP echo works over every useful remote cell. *)
+  let remote_useful =
+    List.filter (fun c -> c.Grid.incoming <> Grid.In_DH) Grid.useful_cells
+  in
+  List.iter
+    (fun c ->
+      let topo = build_world ~same_segment:false () in
+      let r =
+        Conversation.run_tcp ~net:topo.Scenarios.Topo.net
+          ~mh:topo.Scenarios.Topo.mh ~ch:topo.Scenarios.Topo.ch
+          ~ch_addr:topo.Scenarios.Topo.ch_addr ~cell:c ()
+      in
+      let name = Grid.cell_to_string c in
+      Alcotest.(check bool) (name ^ " connected") true r.Conversation.connected;
+      Alcotest.(check bool) (name ^ " echoed") true r.Conversation.echoed)
+    remote_useful
+
+let test_tcp_over_same_segment_cell () =
+  let topo = build_world ~same_segment:true () in
+  let r =
+    Conversation.run_tcp ~net:topo.Scenarios.Topo.net ~mh:topo.Scenarios.Topo.mh
+      ~ch:topo.Scenarios.Topo.ch ~ch_addr:topo.Scenarios.Topo.ch_addr
+      ~cell:(cell Grid.In_DH Grid.Out_DH) ()
+  in
+  Alcotest.(check bool) "In-DH/Out-DH tcp works" true
+    (r.Conversation.connected && r.Conversation.echoed)
+
+let test_tcp_over_unlikely_cells () =
+  (* The lightly-shaded cells work with TCP too — they are merely not the
+     choices a sensible host would make. *)
+  List.iter
+    (fun c ->
+      let same_segment = c.Grid.incoming = Grid.In_DH in
+      let topo = build_world ~same_segment () in
+      let r =
+        Conversation.run_tcp ~net:topo.Scenarios.Topo.net
+          ~mh:topo.Scenarios.Topo.mh ~ch:topo.Scenarios.Topo.ch
+          ~ch_addr:topo.Scenarios.Topo.ch_addr ~cell:c ()
+      in
+      let name = Grid.cell_to_string c in
+      Alcotest.(check bool) (name ^ " works with tcp") true
+        (r.Conversation.connected && r.Conversation.echoed))
+    (List.filter (fun c -> Grid.classify c = Grid.Valid_but_unlikely)
+       Grid.all_cells)
+
+let test_tcp_broken_cell_fails () =
+  (* In-DT/Out-DH: the CH's segments are rewritten to the temporary
+     address; the MH's connection is bound to the home address, so the
+     handshake cannot complete. *)
+  let topo = build_world ~same_segment:false () in
+  let r =
+    Conversation.run_tcp ~net:topo.Scenarios.Topo.net ~mh:topo.Scenarios.Topo.mh
+      ~ch:topo.Scenarios.Topo.ch ~ch_addr:topo.Scenarios.Topo.ch_addr
+      ~cell:(cell Grid.In_DT Grid.Out_DH) ()
+  in
+  Alcotest.(check bool) "never echoed" false r.Conversation.echoed;
+  Alcotest.(check bool) "connection did not survive" true
+    (r.Conversation.final_state = Transport.Tcp.Aborted
+    || not r.Conversation.connected)
+
+let suites =
+  [
+    ( "grid",
+      [
+        Alcotest.test_case "sixteen cells" `Quick test_sixteen_cells;
+        Alcotest.test_case "seven useful" `Quick test_seven_useful;
+        Alcotest.test_case "broken = mixed endpoints" `Quick
+          test_broken_cells_are_row4_col4;
+        Alcotest.test_case "valid-but-unlikely trio" `Quick
+          test_valid_but_unlikely;
+        Alcotest.test_case "consistency predicate" `Quick
+          test_endpoint_consistency_matches_classification;
+        Alcotest.test_case "series of tests picks the paper's cells" `Quick
+          test_best_choice;
+        Alcotest.test_case "best is always applicable (128 envs)" `Quick
+          test_best_is_always_applicable;
+        Alcotest.test_case "live: all 16 cells" `Quick
+          test_all_cells_delivery_and_consistency;
+        Alcotest.test_case "live: In-DH fails off segment" `Quick
+          test_in_dh_fails_off_segment;
+        Alcotest.test_case "live: triangle routing penalty" `Quick
+          test_indirect_costs_more_than_direct;
+        Alcotest.test_case "live: encapsulation overhead" `Quick
+          test_encapsulation_overhead_visible;
+        Alcotest.test_case "live: tcp over useful cells" `Quick
+          test_tcp_over_useful_cells;
+        Alcotest.test_case "live: tcp In-DH/Out-DH" `Quick
+          test_tcp_over_same_segment_cell;
+        Alcotest.test_case "live: tcp over unlikely cells" `Quick
+          test_tcp_over_unlikely_cells;
+        Alcotest.test_case "live: tcp fails on broken cell" `Quick
+          test_tcp_broken_cell_fails;
+      ] );
+  ]

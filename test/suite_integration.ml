@@ -1,0 +1,341 @@
+(* Cross-cutting end-to-end behaviours: encapsulation mode variants,
+   transition packet loss, simultaneous per-conversation methods,
+   registration refresh, FA discovery by advertisement, heuristics,
+   and miscellaneous data-plane corners. *)
+
+open Netsim
+
+let a = Ipv4_addr.of_string
+
+let ping topo ~from_node ~dst =
+  let icmp = Transport.Icmp_service.get from_node in
+  let got = ref None in
+  Transport.Icmp_service.ping icmp ~dst (fun ~rtt -> got := Some rtt);
+  Scenarios.Topo.run topo;
+  !got
+
+(* Every encapsulation mode must carry the In-IE path end to end. *)
+let test_tunnel_modes_end_to_end () =
+  List.iter
+    (fun mode ->
+      let topo = Scenarios.Topo.build ~encap:mode () in
+      Scenarios.Topo.roam topo ();
+      let rtt =
+        ping topo ~from_node:topo.Scenarios.Topo.ch_node
+          ~dst:topo.Scenarios.Topo.mh_home_addr
+      in
+      Alcotest.(check bool)
+        (Mobileip.Encap.mode_to_string mode ^ " tunnel works")
+        true (rtt <> None))
+    Mobileip.Encap.all_modes
+
+let test_transition_window_losses_then_recovery () =
+  (* §2: "during this transition period it may be possible to lose
+     packets, but higher-level protocols are already responsible for
+     mechanisms to ensure reliable packet delivery."  Keep a one-way UDP
+     stream running while the MH moves away from home: datagrams arriving
+     between detachment and the completed registration die (the home
+     router still delivers to the vanished host until the home agent's
+     gratuitous proxy ARP takes over); the stream then resumes through the
+     tunnel. *)
+  let topo = Scenarios.Topo.build () in
+  let net = topo.Scenarios.Topo.net in
+  let received = ref 0 in
+  let mh_udp = Transport.Udp_service.get topo.Scenarios.Topo.mh_node in
+  Transport.Udp_service.listen mh_udp ~port:7777 (fun _ _ -> incr received);
+  let ch_udp = Transport.Udp_service.get topo.Scenarios.Topo.ch_node in
+  let eng = Net.engine net in
+  (* 40 datagrams, 20 ms apart, spanning t in [1.6, 2.4); the handover
+     (detach at 2.0, registration complete ~2.054, plus ~41 ms of transit)
+     leaves a window of a few datagrams with nowhere to go. *)
+  for i = 0 to 39 do
+    Engine.after eng (1.6 +. (float_of_int i *. 0.02)) (fun () ->
+        ignore
+          (Transport.Udp_service.send ch_udp
+             ~dst:topo.Scenarios.Topo.mh_home_addr ~src_port:7000
+             ~dst_port:7777 (Bytes.make 64 's')))
+  done;
+  Engine.after eng 2.0 (fun () ->
+      Mobileip.Mobile_host.move_to_dhcp topo.Scenarios.Topo.mh
+        topo.Scenarios.Topo.visited_segment ());
+  Net.run net;
+  Alcotest.(check bool)
+    (Printf.sprintf "some datagrams lost in transition (got %d)" !received)
+    true
+    (!received < 40);
+  Alcotest.(check bool)
+    (Printf.sprintf "stream recovered after the move (got %d)" !received)
+    true
+    (!received >= 30)
+
+let test_simultaneous_conversations_different_methods () =
+  (* §6 figure caption: "a single host may have many different
+     conversations in progress at the same time, choosing for each of them
+     the communication mode that is most appropriate."  Pin different
+     methods per destination and watch each take its own path. *)
+  let topo = Scenarios.Topo.build () in
+  (* A second correspondent in the home domain. *)
+  let ch2 = Net.add_host topo.Scenarios.Topo.net "ch2" in
+  ignore
+    (Net.attach ch2 topo.Scenarios.Topo.home_segment ~ifname:"eth0"
+       ~addr:(a "36.1.0.30") ~prefix:topo.Scenarios.Topo.home_prefix);
+  Routing.add_default (Net.routing ch2) ~gateway:(a "36.1.0.1") ~iface:"eth0";
+  Scenarios.Topo.roam topo ();
+  let mh = topo.Scenarios.Topo.mh in
+  Mobileip.Mobile_host.pin_method mh ~dst:topo.Scenarios.Topo.ch_addr
+    (Some Mobileip.Grid.Out_DH);
+  Mobileip.Mobile_host.pin_method mh ~dst:(a "36.1.0.30")
+    (Some Mobileip.Grid.Out_IE);
+  Trace.clear (Net.trace topo.Scenarios.Topo.net);
+  let udp = Transport.Udp_service.get topo.Scenarios.Topo.mh_node in
+  let f1 =
+    Transport.Udp_service.send udp ~src:topo.Scenarios.Topo.mh_home_addr
+      ~dst:topo.Scenarios.Topo.ch_addr ~src_port:5001 ~dst_port:9
+      (Bytes.make 32 'x')
+  in
+  let f2 =
+    Transport.Udp_service.send udp ~src:topo.Scenarios.Topo.mh_home_addr
+      ~dst:(a "36.1.0.30") ~src_port:5002 ~dst_port:9 (Bytes.make 32 'y')
+  in
+  Scenarios.Topo.run topo;
+  let trace = Net.trace topo.Scenarios.Topo.net in
+  Alcotest.(check bool) "both delivered" true
+    (Trace.delivered trace ~flow:f1 ~node:"ch"
+    && Trace.delivered trace ~flow:f2 ~node:"ch2");
+  (* The Out-IE flow visits the home agent; the Out-DH one does not. *)
+  Alcotest.(check bool) "Out-IE flow via ha" true
+    (List.mem "ha" (Trace.path trace ~flow:f2));
+  Alcotest.(check bool) "Out-DH flow direct" false
+    (List.mem "ha" (Trace.path trace ~flow:f1))
+
+let test_reregistration_extends_binding () =
+  let topo = Scenarios.Topo.build () in
+  Scenarios.Topo.roam topo ();
+  let ha = topo.Scenarios.Topo.ha in
+  let seq_before =
+    match Mobileip.Home_agent.bindings ha with
+    | [ b ] -> b.Mobileip.Types.sequence
+    | _ -> Alcotest.fail "one binding expected"
+  in
+  let ok = ref None in
+  Mobileip.Mobile_host.reregister topo.Scenarios.Topo.mh
+    ~on_registered:(fun b -> ok := Some b)
+    ();
+  Scenarios.Topo.run topo;
+  Alcotest.(check (option bool)) "refresh accepted" (Some true) !ok;
+  match Mobileip.Home_agent.bindings ha with
+  | [ b ] ->
+      Alcotest.(check bool) "sequence advanced" true
+        (b.Mobileip.Types.sequence > seq_before)
+  | _ -> Alcotest.fail "binding lost on refresh"
+
+let test_fa_discovered_by_advertisement () =
+  let topo = Scenarios.Topo.build () in
+  let fa_node = Net.add_router topo.Scenarios.Topo.net "fa" in
+  let fa_iface =
+    Net.attach fa_node topo.Scenarios.Topo.visited_segment ~ifname:"lan"
+      ~addr:(a "131.7.0.3") ~prefix:topo.Scenarios.Topo.visited_prefix
+  in
+  Routing.add_default (Net.routing fa_node) ~gateway:(a "131.7.0.1")
+    ~iface:"lan";
+  let _fa =
+    Mobileip.Foreign_agent.create fa_node ~iface:fa_iface
+      ~advert_interval:1.0 ()
+  in
+  (* The MH attaches its interface to the segment first, then waits for an
+     agent advertisement before registering. *)
+  let discovered = ref None in
+  Mobileip.Foreign_agent.on_advert topo.Scenarios.Topo.mh_node
+    (fun ~fa_addr -> discovered := Some (Ipv4_addr.to_string fa_addr));
+  Net.reattach
+    (Option.get (Net.find_iface topo.Scenarios.Topo.mh_node "eth0"))
+    topo.Scenarios.Topo.visited_segment;
+  Scenarios.Topo.run topo;
+  Alcotest.(check (option string)) "advert heard" (Some "131.7.0.3") !discovered
+
+let test_port_heuristics_pick_out_dt () =
+  (* §7.1.1: an unbound UDP packet to port 53 forgoes Mobile IP. *)
+  let topo = Scenarios.Topo.build () in
+  Scenarios.Topo.roam topo ();
+  let mh = topo.Scenarios.Topo.mh in
+  Mobileip.Mobile_host.set_heuristics mh [ Mobileip.Mobile_host.http_dns_heuristic ];
+  let seen_src = ref None in
+  Net.set_delivery_observer topo.Scenarios.Topo.ch_node
+    (Some (fun pkt -> seen_src := Some (Ipv4_addr.to_string pkt.Ipv4_packet.src)));
+  let udp = Transport.Udp_service.get topo.Scenarios.Topo.mh_node in
+  (* No ~src: unbound. *)
+  ignore
+    (Transport.Udp_service.send udp ~dst:topo.Scenarios.Topo.ch_addr
+       ~src_port:5500 ~dst_port:Transport.Well_known.dns (Bytes.make 20 'q'));
+  Scenarios.Topo.run topo;
+  Alcotest.(check (option string)) "DNS query sent from the care-of address"
+    (Some "131.7.0.100") !seen_src;
+  (* A non-heuristic port from the same unbound socket uses the home
+     address (through the default method). *)
+  Mobileip.Mobile_host.set_default_method mh Mobileip.Grid.Out_DH;
+  seen_src := None;
+  ignore
+    (Transport.Udp_service.send udp ~dst:topo.Scenarios.Topo.ch_addr
+       ~src_port:5501 ~dst_port:9999 (Bytes.make 20 'q'));
+  Scenarios.Topo.run topo;
+  Alcotest.(check (option string)) "other traffic uses the home address"
+    (Some "36.1.0.5") !seen_src
+
+let test_choose_source_api () =
+  let topo = Scenarios.Topo.build () in
+  let mh = topo.Scenarios.Topo.mh in
+  Alcotest.(check string) "at home: home address" "36.1.0.5"
+    (Ipv4_addr.to_string (Mobileip.Mobile_host.choose_source mh ()));
+  Scenarios.Topo.roam topo ();
+  Alcotest.(check string) "away, port 80: care-of" "131.7.0.100"
+    (Ipv4_addr.to_string
+       (Mobileip.Mobile_host.choose_source mh
+          ~tcp_port:Transport.Well_known.http ()));
+  Alcotest.(check string) "away, telnet: home" "36.1.0.5"
+    (Ipv4_addr.to_string
+       (Mobileip.Mobile_host.choose_source mh
+          ~tcp_port:Transport.Well_known.telnet ()));
+  Mobileip.Mobile_host.set_privacy mh true;
+  Alcotest.(check string) "privacy: always home" "36.1.0.5"
+    (Ipv4_addr.to_string
+       (Mobileip.Mobile_host.choose_source mh
+          ~tcp_port:Transport.Well_known.http ()))
+
+let test_mtu_feedback_icmp () =
+  (* A DF-marked packet over the MTU triggers fragmentation-needed back to
+     the sender. *)
+  let net = Net.create () in
+  let s = Net.add_host net "s" in
+  let d = Net.add_host net "d" in
+  let _ =
+    Net.p2p net ~mtu:600 ~prefix:(Ipv4_addr.Prefix.of_string "10.9.0.0/30")
+      (s, "if0", a "10.9.0.1") (d, "if0", a "10.9.0.2")
+  in
+  let icmp_s = Transport.Icmp_service.get s in
+  let frag_needed = ref false in
+  Transport.Icmp_service.on_unreachable icmp_s
+    (Some
+       (fun ~code ~src:_ ->
+         if code = Icmp_wire.Fragmentation_needed then frag_needed := true));
+  let pkt =
+    Ipv4_packet.make ~dont_fragment:true ~protocol:Ipv4_packet.P_udp
+      ~src:(a "10.9.0.1") ~dst:(a "10.9.0.2")
+      (Ipv4_packet.Udp (Udp_wire.make ~src_port:1 ~dst_port:2 (Bytes.make 1000 'b')))
+  in
+  let flow = Net.send s pkt in
+  Net.run net;
+  Alcotest.(check bool) "fragmentation-needed received" true !frag_needed;
+  Alcotest.(check bool) "packet dropped" true
+    (List.exists
+       (fun (_, r) -> Trace.drop_reason_equal r Trace.Mtu_exceeded)
+       (Trace.drops (Net.trace net) ~flow))
+
+let test_fragmented_tunnel_end_to_end () =
+  (* A datagram that only fragments once encapsulated must still arrive
+     whole at the mobile host. *)
+  let topo = Scenarios.Topo.build () in
+  Scenarios.Topo.roam topo ();
+  let mh_udp = Transport.Udp_service.get topo.Scenarios.Topo.mh_node in
+  let got = ref None in
+  Transport.Udp_service.listen mh_udp ~port:6100 (fun _ d ->
+      got := Some (Bytes.length d.Transport.Udp_service.payload));
+  let ch_udp = Transport.Udp_service.get topo.Scenarios.Topo.ch_node in
+  ignore
+    (Transport.Udp_service.send ch_udp ~dst:topo.Scenarios.Topo.mh_home_addr
+       ~src_port:6000 ~dst_port:6100 (Bytes.make 1460 'g'));
+  Scenarios.Topo.run topo;
+  Alcotest.(check (option int)) "reassembled at the mobile host" (Some 1460)
+    !got
+
+let test_multicast_not_joined_not_delivered () =
+  let net = Net.create () in
+  let s = Net.add_host net "s" in
+  let r1 = Net.add_host net "r1" in
+  let seg = Net.add_segment net ~name:"lan" () in
+  let is_ =
+    Net.attach s seg ~ifname:"eth0" ~addr:(a "10.0.0.1")
+      ~prefix:(Ipv4_addr.Prefix.of_string "10.0.0.0/24")
+  in
+  ignore
+    (Net.attach r1 seg ~ifname:"eth0" ~addr:(a "10.0.0.2")
+       ~prefix:(Ipv4_addr.Prefix.of_string "10.0.0.0/24"));
+  let udp_r = Transport.Udp_service.get r1 in
+  let got = ref 0 in
+  Transport.Udp_service.listen udp_r ~port:5004 (fun _ _ -> incr got);
+  let udp_s = Transport.Udp_service.get s in
+  ignore
+    (Transport.Udp_service.send udp_s ~via:is_ ~dst:(a "224.9.9.9")
+       ~src_port:5004 ~dst_port:5004 (Bytes.make 10 'm'));
+  Net.run net;
+  Alcotest.(check int) "not joined, not delivered" 0 !got;
+  (* After joining, delivery happens. *)
+  let ir1 = Option.get (Net.find_iface r1 "eth0") in
+  Net.join_group r1 ir1 (a "224.9.9.9");
+  ignore
+    (Transport.Udp_service.send udp_s ~via:is_ ~dst:(a "224.9.9.9")
+       ~src_port:5004 ~dst_port:5004 (Bytes.make 10 'm'));
+  Net.run net;
+  Alcotest.(check int) "joined, delivered" 1 !got
+
+let test_privacy_hides_care_of_everywhere () =
+  let topo = Scenarios.Topo.build () in
+  Scenarios.Topo.roam topo ();
+  Mobileip.Mobile_host.set_privacy topo.Scenarios.Topo.mh true;
+  Trace.clear (Net.trace topo.Scenarios.Topo.net);
+  let udp = Transport.Udp_service.get topo.Scenarios.Topo.mh_node in
+  ignore
+    (Transport.Udp_service.send udp ~src:topo.Scenarios.Topo.mh_home_addr
+       ~dst:topo.Scenarios.Topo.ch_addr ~src_port:5600 ~dst_port:9
+       (Bytes.make 10 'p'));
+  Scenarios.Topo.run topo;
+  (* No packet delivered at the CH may expose the care-of address in any
+     header field. *)
+  let coa = a "131.7.0.100" in
+  let leaked =
+    List.exists
+      (fun r ->
+        match r.Trace.event with
+        | Trace.Deliver { node = "ch"; frame } ->
+            let rec mentions (p : Ipv4_packet.t) =
+              Ipv4_addr.equal p.Ipv4_packet.src coa
+              || Ipv4_addr.equal p.Ipv4_packet.dst coa
+              ||
+              match p.Ipv4_packet.payload with
+              | Ipv4_packet.Encap i | Ipv4_packet.Gre_encap i
+              | Ipv4_packet.Min_encap i ->
+                  mentions i
+              | _ -> false
+            in
+            mentions frame.Trace.pkt
+        | _ -> false)
+      (Trace.records (Net.trace topo.Scenarios.Topo.net))
+  in
+  Alcotest.(check bool) "care-of address never reaches the correspondent"
+    false leaked
+
+let suites =
+  [
+    ( "integration",
+      [
+        Alcotest.test_case "all tunnel modes end to end" `Quick
+          test_tunnel_modes_end_to_end;
+        Alcotest.test_case "transition window loss + recovery" `Quick
+          test_transition_window_losses_then_recovery;
+        Alcotest.test_case "simultaneous conversations, distinct methods"
+          `Quick test_simultaneous_conversations_different_methods;
+        Alcotest.test_case "reregistration extends binding" `Quick
+          test_reregistration_extends_binding;
+        Alcotest.test_case "fa discovered by advertisement" `Quick
+          test_fa_discovered_by_advertisement;
+        Alcotest.test_case "port heuristics pick Out-DT" `Quick
+          test_port_heuristics_pick_out_dt;
+        Alcotest.test_case "choose_source api" `Quick test_choose_source_api;
+        Alcotest.test_case "mtu feedback icmp" `Quick test_mtu_feedback_icmp;
+        Alcotest.test_case "fragmented tunnel end to end" `Quick
+          test_fragmented_tunnel_end_to_end;
+        Alcotest.test_case "multicast membership gating" `Quick
+          test_multicast_not_joined_not_delivered;
+        Alcotest.test_case "privacy hides care-of everywhere" `Quick
+          test_privacy_hides_care_of_everywhere;
+      ] );
+  ]

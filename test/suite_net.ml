@@ -1,0 +1,285 @@
+(* Smoke tests for the data plane: topology, ARP, forwarding, filtering,
+   TCP and UDP end to end, DHCP. *)
+
+open Netsim
+
+let addr = Ipv4_addr.of_string
+let prefix = Ipv4_addr.Prefix.of_string
+
+(* Two hosts on one segment. *)
+let two_host_segment () =
+  let net = Net.create () in
+  let a = Net.add_host net "a" in
+  let b = Net.add_host net "b" in
+  let seg = Net.add_segment net ~name:"lan" () in
+  let ia = Net.attach a seg ~ifname:"eth0" ~addr:(addr "10.0.0.1") ~prefix:(prefix "10.0.0.0/24") in
+  let ib = Net.attach b seg ~ifname:"eth0" ~addr:(addr "10.0.0.2") ~prefix:(prefix "10.0.0.0/24") in
+  (net, a, b, ia, ib)
+
+(* a --- r --- b over p2p links. *)
+let routed_triangle () =
+  let net = Net.create () in
+  let a = Net.add_host net "a" in
+  let r = Net.add_router net "r" in
+  let b = Net.add_host net "b" in
+  let _ =
+    Net.p2p net ~prefix:(prefix "10.1.0.0/30")
+      (a, "if0", addr "10.1.0.1")
+      (r, "if0", addr "10.1.0.2")
+  in
+  let _ =
+    Net.p2p net ~prefix:(prefix "10.2.0.0/30")
+      (r, "if1", addr "10.2.0.1")
+      (b, "if0", addr "10.2.0.2")
+  in
+  Routing.add_default (Net.routing a) ~gateway:(addr "10.1.0.2") ~iface:"if0";
+  Routing.add_default (Net.routing b) ~gateway:(addr "10.2.0.1") ~iface:"if0";
+  (net, a, r, b)
+
+let test_ping_same_segment () =
+  let net, a, b, _, _ = two_host_segment () in
+  let icmp_a = Transport.Icmp_service.get a in
+  let (_ : Transport.Icmp_service.t) = Transport.Icmp_service.get b in
+  let got = ref None in
+  Transport.Icmp_service.ping icmp_a ~dst:(addr "10.0.0.2") (fun ~rtt ->
+      got := Some rtt);
+  Net.run net;
+  match !got with
+  | None -> Alcotest.fail "no ping reply"
+  | Some rtt -> Alcotest.(check bool) "rtt positive" true (rtt > 0.0)
+
+let test_ping_routed () =
+  let net, a, _r, b = routed_triangle () in
+  let icmp_a = Transport.Icmp_service.get a in
+  let (_ : Transport.Icmp_service.t) = Transport.Icmp_service.get b in
+  let got = ref None in
+  Transport.Icmp_service.ping icmp_a ~dst:(addr "10.2.0.2") (fun ~rtt ->
+      got := Some rtt);
+  Net.run net;
+  Alcotest.(check bool) "reply received" true (!got <> None)
+
+let test_arp_populated () =
+  let net, a, _b, _, _ = two_host_segment () in
+  let icmp_a = Transport.Icmp_service.get a in
+  Transport.Icmp_service.ping icmp_a ~dst:(addr "10.0.0.2") (fun ~rtt:_ -> ());
+  Net.run net;
+  Alcotest.(check bool)
+    "a resolved b's MAC" true
+    (Net.arp_lookup a (addr "10.0.0.2") <> None)
+
+let test_ingress_filter_drops () =
+  let net, a, r, _b = routed_triangle () in
+  (* r treats if1 side (10.2/16) as its inside; a packet arriving on if0
+     (outside) claiming an inside source must be dropped. *)
+  Net.set_filter r
+    (Filter.of_rules
+       [
+         Filter.ingress_source_filter ~external_iface:"if0"
+           ~inside:[ prefix "10.2.0.0/16" ];
+       ]);
+  let spoofed =
+    Ipv4_packet.make ~protocol:Ipv4_packet.P_udp ~src:(addr "10.2.0.99")
+      ~dst:(addr "10.2.0.2")
+      (Ipv4_packet.Udp (Udp_wire.make ~src_port:1 ~dst_port:2 (Bytes.create 4)))
+  in
+  let flow = Net.send a spoofed in
+  Net.run net;
+  let drops = Trace.drops (Net.trace net) ~flow in
+  Alcotest.(check bool) "dropped at r" true
+    (List.exists
+       (fun (n, reason) ->
+         n = "r" && Trace.drop_reason_equal reason Trace.Ingress_filter)
+       drops);
+  Alcotest.(check bool) "not delivered" false
+    (Trace.delivered (Net.trace net) ~flow ~node:"b")
+
+let test_ttl_expiry () =
+  let net, a, _r, _b = routed_triangle () in
+  let pkt =
+    Ipv4_packet.make ~ttl:1 ~protocol:Ipv4_packet.P_udp ~src:(addr "10.1.0.1")
+      ~dst:(addr "10.2.0.2")
+      (Ipv4_packet.Udp (Udp_wire.make ~src_port:1 ~dst_port:2 Bytes.empty))
+  in
+  let flow = Net.send a pkt in
+  Net.run net;
+  let drops = Trace.drops (Net.trace net) ~flow in
+  Alcotest.(check bool) "ttl expired at router" true
+    (List.exists
+       (fun (n, reason) ->
+         n = "r" && Trace.drop_reason_equal reason Trace.Ttl_expired)
+       drops)
+
+let test_udp_end_to_end () =
+  let net, a, _r, b = routed_triangle () in
+  let ua = Transport.Udp_service.get a in
+  let ub = Transport.Udp_service.get b in
+  let received = ref [] in
+  Transport.Udp_service.listen ub ~port:7 (fun svc dgram ->
+      received := Bytes.to_string dgram.Transport.Udp_service.payload :: !received;
+      (* echo it back *)
+      ignore
+        (Transport.Udp_service.send svc ~src:dgram.Transport.Udp_service.dst
+           ~dst:dgram.Transport.Udp_service.src ~src_port:7
+           ~dst_port:dgram.Transport.Udp_service.src_port
+           dgram.Transport.Udp_service.payload));
+  let echoed = ref None in
+  Transport.Udp_service.listen ua ~port:5000 (fun _svc dgram ->
+      echoed := Some (Bytes.to_string dgram.Transport.Udp_service.payload));
+  ignore
+    (Transport.Udp_service.send ua ~dst:(addr "10.2.0.2") ~src_port:5000
+       ~dst_port:7
+       (Bytes.of_string "hello"));
+  Net.run net;
+  Alcotest.(check (list string)) "server got it" [ "hello" ] !received;
+  Alcotest.(check (option string)) "echo returned" (Some "hello") !echoed
+
+let test_tcp_end_to_end () =
+  let net, a, _r, b = routed_triangle () in
+  let ta = Transport.Tcp.get a in
+  let tb = Transport.Tcp.get b in
+  let server_got = Buffer.create 64 in
+  Transport.Tcp.listen tb ~port:80 (fun conn ->
+      Transport.Tcp.on_receive conn (fun data ->
+          Buffer.add_bytes server_got data;
+          Transport.Tcp.send_data conn (Bytes.of_string "response");
+          Transport.Tcp.close conn));
+  let client_got = Buffer.create 64 in
+  let conn =
+    Transport.Tcp.connect ta ~dst:(addr "10.2.0.2") ~dst_port:80 ()
+  in
+  Transport.Tcp.on_receive conn (fun data -> Buffer.add_bytes client_got data);
+  Transport.Tcp.send_data conn (Bytes.of_string "request");
+  Net.run net;
+  Alcotest.(check string) "server received" "request" (Buffer.contents server_got);
+  Alcotest.(check string) "client received" "response" (Buffer.contents client_got);
+  Alcotest.(check int) "no retransmissions" 0 (Transport.Tcp.retransmissions conn)
+
+let test_tcp_large_transfer_segments () =
+  let net, a, _r, b = routed_triangle () in
+  let ta = Transport.Tcp.get a in
+  let tb = Transport.Tcp.get b in
+  let total = 5000 in
+  let server_got = Buffer.create total in
+  Transport.Tcp.listen tb ~port:80 (fun conn ->
+      Transport.Tcp.on_receive conn (fun data -> Buffer.add_bytes server_got data));
+  let conn = Transport.Tcp.connect ta ~dst:(addr "10.2.0.2") ~dst_port:80 () in
+  Transport.Tcp.send_data conn (Bytes.make total 'x');
+  Net.run net;
+  Alcotest.(check int) "all bytes arrived" total (Buffer.length server_got)
+
+let test_tcp_aborts_when_path_dies () =
+  let net, a, r, b = routed_triangle () in
+  let ta = Transport.Tcp.get a in
+  let tb = Transport.Tcp.get b in
+  Transport.Tcp.listen tb ~port:80 (fun _conn -> ());
+  let conn = Transport.Tcp.connect ta ~dst:(addr "10.2.0.2") ~dst_port:80 () in
+  (* Let the handshake complete, then kill the path and send. *)
+  Net.run net;
+  Alcotest.(check bool) "established" true
+    (Transport.Tcp.state conn = Transport.Tcp.Established);
+  Routing.clear (Net.routing r);
+  Transport.Tcp.send_data conn (Bytes.of_string "doomed");
+  Net.run net;
+  Alcotest.(check bool) "aborted after retries" true
+    (Transport.Tcp.state conn = Transport.Tcp.Aborted);
+  Alcotest.(check int) "max retries used" Transport.Tcp.max_retries
+    (Transport.Tcp.retransmissions conn)
+
+let test_dhcp_lease () =
+  let net = Net.create () in
+  let server = Net.add_host net "dhcpd" in
+  let client = Net.add_host net "mh" in
+  let seg = Net.add_segment net ~name:"visited" () in
+  let _ =
+    Net.attach server seg ~ifname:"eth0" ~addr:(addr "192.168.1.1")
+      ~prefix:(prefix "192.168.1.0/24")
+  in
+  let ic =
+    Net.attach client seg ~ifname:"eth0" ~addr:Ipv4_addr.any
+      ~prefix:(prefix "192.168.1.0/24")
+  in
+  let _server =
+    Transport.Dhcp.Server.create server ~pool:(prefix "192.168.1.0/24")
+      ~first_host:100 ~last_host:200 ~gateway:(addr "192.168.1.1") ()
+  in
+  let got = ref None in
+  Transport.Dhcp.Client.request client ~via:ic (fun offer -> got := Some offer);
+  Net.run net;
+  match !got with
+  | None -> Alcotest.fail "no DHCP offer"
+  | Some offer ->
+      Alcotest.(check string) "address from pool" "192.168.1.100"
+        (Ipv4_addr.to_string offer.Transport.Dhcp.Client.addr)
+
+let test_fragmentation_on_path () =
+  (* A p2p link with a small MTU forces fragmentation; the far host must
+     reassemble and deliver the whole datagram once. *)
+  let net = Net.create () in
+  let a = Net.add_host net "a" in
+  let b = Net.add_host net "b" in
+  let _ =
+    Net.p2p net ~mtu:600 ~prefix:(prefix "10.9.0.0/30")
+      (a, "if0", addr "10.9.0.1")
+      (b, "if0", addr "10.9.0.2")
+  in
+  let ua = Transport.Udp_service.get a in
+  let ub = Transport.Udp_service.get b in
+  let sizes = ref [] in
+  Transport.Udp_service.listen ub ~port:9 (fun _svc dgram ->
+      sizes := Bytes.length dgram.Transport.Udp_service.payload :: !sizes);
+  ignore
+    (Transport.Udp_service.send ua ~dst:(addr "10.9.0.2") ~src_port:5001
+       ~dst_port:9 (Bytes.make 1400 'z'));
+  Net.run net;
+  Alcotest.(check (list int)) "reassembled exactly once" [ 1400 ] !sizes
+
+let test_same_segment_predicate () =
+  let _net, a, b, _, _ = two_host_segment () in
+  Alcotest.(check bool) "same segment" true (Net.same_segment a b)
+
+let test_l2_direct_delivery () =
+  (* In-DH primitive: deliver an IP packet whose destination address does
+     not belong to the segment, by addressing the link-layer frame
+     directly. *)
+  let net, a, b, _ia, ib = two_host_segment () in
+  let home = addr "36.1.0.5" in
+  Net.claim_address b home;
+  let mac_b =
+    match Net.iface_mac ib with Some m -> m | None -> Alcotest.fail "mac"
+  in
+  let pkt =
+    Ipv4_packet.make ~protocol:Ipv4_packet.P_udp ~src:(addr "10.0.0.1")
+      ~dst:home
+      (Ipv4_packet.Udp (Udp_wire.make ~src_port:1 ~dst_port:2 Bytes.empty))
+  in
+  let via = match Net.find_iface a "eth0" with Some i -> i | None -> assert false in
+  let flow = Net.send a ~via ~l2_dst:mac_b pkt in
+  Net.run net;
+  Alcotest.(check bool) "delivered to b despite foreign address" true
+    (Trace.delivered (Net.trace net) ~flow ~node:"b")
+
+let suites =
+  [
+    ( "net",
+      [
+        Alcotest.test_case "ping same segment" `Quick test_ping_same_segment;
+        Alcotest.test_case "ping via router" `Quick test_ping_routed;
+        Alcotest.test_case "arp cache populated" `Quick test_arp_populated;
+        Alcotest.test_case "ingress filter drops spoof" `Quick
+          test_ingress_filter_drops;
+        Alcotest.test_case "ttl expiry" `Quick test_ttl_expiry;
+        Alcotest.test_case "udp end to end" `Quick test_udp_end_to_end;
+        Alcotest.test_case "tcp end to end" `Quick test_tcp_end_to_end;
+        Alcotest.test_case "tcp large transfer" `Quick
+          test_tcp_large_transfer_segments;
+        Alcotest.test_case "tcp aborts when path dies" `Quick
+          test_tcp_aborts_when_path_dies;
+        Alcotest.test_case "dhcp lease" `Quick test_dhcp_lease;
+        Alcotest.test_case "fragmentation + reassembly" `Quick
+          test_fragmentation_on_path;
+        Alcotest.test_case "same segment predicate" `Quick
+          test_same_segment_predicate;
+        Alcotest.test_case "l2 direct delivery (In-DH primitive)" `Quick
+          test_l2_direct_delivery;
+      ] );
+  ]

@@ -1,0 +1,151 @@
+(* Address-based trust (§3.1): the NFS story end to end — why the home
+   source address matters, why Out-DT loses access, why ingress filtering
+   exists, and why the reverse tunnel restores everything. *)
+
+open Netsim
+
+let a = Ipv4_addr.of_string
+
+(* A home-domain file server exporting to home addresses only, in a
+   filtered world with the MH roaming. *)
+let world () =
+  let topo =
+    Scenarios.Topo.build ~ch_position:Scenarios.Topo.Remote
+      ~filtering:Scenarios.Topo.ingress_only ()
+  in
+  let nfs_node = Net.add_host topo.Scenarios.Topo.net "nfsd" in
+  ignore
+    (Net.attach nfs_node topo.Scenarios.Topo.home_segment ~ifname:"eth0"
+       ~addr:(a "36.1.0.40") ~prefix:topo.Scenarios.Topo.home_prefix);
+  Routing.add_default (Net.routing nfs_node) ~gateway:(a "36.1.0.1")
+    ~iface:"eth0";
+  let server =
+    Scenarios.Nfs.Server.create nfs_node
+      ~exports:[ ("/home/mary/paper.tex", Bytes.make 900 'p') ]
+      ~trusted:[ topo.Scenarios.Topo.home_prefix ]
+      ()
+  in
+  Scenarios.Topo.roam topo ();
+  (topo, server)
+
+let read topo ~src =
+  Scenarios.Nfs.Client.read ~net:topo.Scenarios.Topo.net
+    topo.Scenarios.Topo.mh_node ~server:(a "36.1.0.40") ~src
+    ~path:"/home/mary/paper.tex" ()
+
+let test_home_address_via_tunnel_succeeds () =
+  let topo, server = world () in
+  Mobileip.Mobile_host.set_default_method topo.Scenarios.Topo.mh
+    Mobileip.Grid.Out_IE;
+  (match read topo ~src:topo.Scenarios.Topo.mh_home_addr with
+  | Some (Scenarios.Nfs.Client.Contents data) ->
+      Alcotest.(check int) "file read" 900 (Bytes.length data)
+  | other ->
+      Alcotest.failf "expected contents, got %s"
+        (match other with
+        | Some r -> Format.asprintf "%a" Scenarios.Nfs.Client.pp_result r
+        | None -> "no reply"));
+  Alcotest.(check int) "served" 1 (Scenarios.Nfs.Server.requests_served server)
+
+let test_temporary_address_denied () =
+  let topo, server = world () in
+  let coa =
+    Option.get (Mobileip.Mobile_host.care_of_address topo.Scenarios.Topo.mh)
+  in
+  (match read topo ~src:coa with
+  | Some Scenarios.Nfs.Client.Access_denied -> ()
+  | other ->
+      Alcotest.failf "expected EACCES, got %s"
+        (match other with
+        | Some r -> Format.asprintf "%a" Scenarios.Nfs.Client.pp_result r
+        | None -> "no reply"));
+  Alcotest.(check int) "refused" 1 (Scenarios.Nfs.Server.requests_refused server)
+
+let test_plain_home_address_filtered () =
+  (* Out-DH: the request claims the home source but arrives at the home
+     boundary from outside — the ingress filter eats it and the client
+     sees nothing at all.  This is exactly Figure 2 with NFS semantics. *)
+  let topo, server = world () in
+  Mobileip.Mobile_host.set_default_method topo.Scenarios.Topo.mh
+    Mobileip.Grid.Out_DH;
+  Alcotest.(check bool) "no reply at all" true
+    (read topo ~src:topo.Scenarios.Topo.mh_home_addr = None);
+  Alcotest.(check int) "server never saw it" 0
+    (Scenarios.Nfs.Server.requests_served server
+    + Scenarios.Nfs.Server.requests_refused server)
+
+let test_spoofing_attacker_blocked () =
+  (* An outside attacker forging the trusted home address: stopped by the
+     same ingress filter.  (Without filtering, address-trusting services
+     are exactly as vulnerable as §3.1 warns.) *)
+  let topo, server = world () in
+  let attacker = topo.Scenarios.Topo.ch_node in
+  let udp = Transport.Udp_service.get attacker in
+  let req = Bytes.cat (Bytes.make 1 '\001') (Bytes.of_string "/home/mary/paper.tex") in
+  ignore
+    (Transport.Udp_service.send udp ~src:(a "36.1.0.99") ~dst:(a "36.1.0.40")
+       ~src_port:50000 ~dst_port:Transport.Well_known.nfs req);
+  Scenarios.Topo.run topo;
+  Alcotest.(check int) "spoofed request never reached the server" 0
+    (Scenarios.Nfs.Server.requests_served server
+    + Scenarios.Nfs.Server.requests_refused server)
+
+let test_spoofing_succeeds_without_filtering () =
+  (* The §3.1 threat made concrete: drop the filter and the forged READ
+     goes through (the reply races off toward the real home host, but
+     "many kinds of attack can be performed without needing to see any
+     replies"). *)
+  let topo =
+    Scenarios.Topo.build ~ch_position:Scenarios.Topo.Remote
+      ~filtering:Scenarios.Topo.no_filtering ()
+  in
+  let nfs_node = Net.add_host topo.Scenarios.Topo.net "nfsd" in
+  ignore
+    (Net.attach nfs_node topo.Scenarios.Topo.home_segment ~ifname:"eth0"
+       ~addr:(a "36.1.0.40") ~prefix:topo.Scenarios.Topo.home_prefix);
+  Routing.add_default (Net.routing nfs_node) ~gateway:(a "36.1.0.1")
+    ~iface:"eth0";
+  let server =
+    Scenarios.Nfs.Server.create nfs_node
+      ~exports:[ ("/secret", Bytes.make 10 's') ]
+      ~trusted:[ topo.Scenarios.Topo.home_prefix ]
+      ()
+  in
+  let udp = Transport.Udp_service.get topo.Scenarios.Topo.ch_node in
+  let req = Bytes.cat (Bytes.make 1 '\001') (Bytes.of_string "/secret") in
+  ignore
+    (Transport.Udp_service.send udp ~src:(a "36.1.0.99") ~dst:(a "36.1.0.40")
+       ~src_port:50001 ~dst_port:Transport.Well_known.nfs req);
+  Scenarios.Topo.run topo;
+  Alcotest.(check int) "forged request accepted by the trusting server" 1
+    (Scenarios.Nfs.Server.requests_served server)
+
+let test_nonexistent_file () =
+  let topo, _server = world () in
+  Mobileip.Mobile_host.set_default_method topo.Scenarios.Topo.mh
+    Mobileip.Grid.Out_IE;
+  match
+    Scenarios.Nfs.Client.read ~net:topo.Scenarios.Topo.net
+      topo.Scenarios.Topo.mh_node ~server:(a "36.1.0.40")
+      ~src:topo.Scenarios.Topo.mh_home_addr ~path:"/nope" ()
+  with
+  | Some Scenarios.Nfs.Client.No_such_file -> ()
+  | _ -> Alcotest.fail "expected ENOENT"
+
+let suites =
+  [
+    ( "nfs-trust",
+      [
+        Alcotest.test_case "home address via tunnel succeeds" `Quick
+          test_home_address_via_tunnel_succeeds;
+        Alcotest.test_case "temporary address denied" `Quick
+          test_temporary_address_denied;
+        Alcotest.test_case "plain home address filtered" `Quick
+          test_plain_home_address_filtered;
+        Alcotest.test_case "spoofing attacker blocked by filter" `Quick
+          test_spoofing_attacker_blocked;
+        Alcotest.test_case "spoofing succeeds without filtering" `Quick
+          test_spoofing_succeeds_without_filtering;
+        Alcotest.test_case "nonexistent file" `Quick test_nonexistent_file;
+      ] );
+  ]

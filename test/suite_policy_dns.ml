@@ -1,0 +1,211 @@
+(* Policy table rules and the DNS extension service. *)
+
+open Netsim
+
+let a = Ipv4_addr.of_string
+let p = Ipv4_addr.Prefix.of_string
+
+(* ---- policy table ---- *)
+
+let test_policy_default () =
+  let t = Mobileip.Policy_table.create () in
+  Alcotest.(check bool) "default optimistic" true
+    (Mobileip.Policy_table.mode_for t (a "1.2.3.4")
+    = Mobileip.Policy_table.Optimistic);
+  let t2 =
+    Mobileip.Policy_table.create ~default:Mobileip.Policy_table.Pessimistic ()
+  in
+  Alcotest.(check bool) "default pessimistic" true
+    (Mobileip.Policy_table.mode_for t2 (a "1.2.3.4")
+    = Mobileip.Policy_table.Pessimistic)
+
+let test_policy_lpm () =
+  let t = Mobileip.Policy_table.create () in
+  Mobileip.Policy_table.add_rule t (p "36.0.0.0/8") Mobileip.Policy_table.Pessimistic;
+  Mobileip.Policy_table.add_rule t (p "36.1.5.0/24") Mobileip.Policy_table.Optimistic;
+  Alcotest.(check bool) "/24 overrides /8" true
+    (Mobileip.Policy_table.mode_for t (a "36.1.5.9")
+    = Mobileip.Policy_table.Optimistic);
+  Alcotest.(check bool) "/8 elsewhere" true
+    (Mobileip.Policy_table.mode_for t (a "36.200.0.1")
+    = Mobileip.Policy_table.Pessimistic);
+  Alcotest.(check bool) "default outside" true
+    (Mobileip.Policy_table.mode_for t (a "44.0.0.1")
+    = Mobileip.Policy_table.Optimistic)
+
+let test_policy_remove () =
+  let t = Mobileip.Policy_table.create () in
+  Mobileip.Policy_table.add_rule t (p "36.0.0.0/8") Mobileip.Policy_table.Pessimistic;
+  Mobileip.Policy_table.remove_rule t (p "36.0.0.0/8");
+  Alcotest.(check int) "empty" 0 (List.length (Mobileip.Policy_table.rules t));
+  Alcotest.(check bool) "back to default" true
+    (Mobileip.Policy_table.mode_for t (a "36.1.1.1")
+    = Mobileip.Policy_table.Optimistic)
+
+let test_policy_parse () =
+  let text =
+    "# home network is behind a protective gateway\n\
+     36.0.0.0/8  pessimistic\n\
+     131.7.42.0/24\toptimistic   # lab subnet\n\
+     \n\
+     default optimistic\n"
+  in
+  match Mobileip.Policy_table.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      Alcotest.(check bool) "pessimistic for home" true
+        (Mobileip.Policy_table.mode_for t (a "36.9.9.9")
+        = Mobileip.Policy_table.Pessimistic);
+      Alcotest.(check bool) "optimistic for lab" true
+        (Mobileip.Policy_table.mode_for t (a "131.7.42.9")
+        = Mobileip.Policy_table.Optimistic);
+      Alcotest.(check bool) "default" true
+        (Mobileip.Policy_table.mode_for t (a "200.0.0.1")
+        = Mobileip.Policy_table.Optimistic);
+      (* Round trip. *)
+      (match
+         Mobileip.Policy_table.of_string (Mobileip.Policy_table.to_string t)
+       with
+      | Ok t2 ->
+          Alcotest.(check int) "rules preserved"
+            (List.length (Mobileip.Policy_table.rules t))
+            (List.length (Mobileip.Policy_table.rules t2))
+      | Error e -> Alcotest.fail ("round trip: " ^ e))
+
+let test_policy_parse_errors () =
+  let check_err name text =
+    match Mobileip.Policy_table.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should fail" name
+  in
+  check_err "bad prefix" "36.0.0/8 pessimistic\n";
+  check_err "bad mode" "36.0.0.0/8 paranoid\n";
+  check_err "duplicate default" "default optimistic\ndefault pessimistic\n";
+  check_err "junk line" "36.0.0.0/8 pessimistic extra\n";
+  (* Line numbers are reported. *)
+  match Mobileip.Policy_table.of_string "\n\nnonsense here\n" with
+  | Error e ->
+      Alcotest.(check bool) "line number in error" true
+        (String.length e >= 6 && String.sub e 0 6 = "line 3")
+  | Ok _ -> Alcotest.fail "should fail"
+
+(* ---- DNS extension ---- *)
+
+let dns_world () =
+  let net = Net.create () in
+  let server = Net.add_host net "dns" in
+  let client = Net.add_host net "client" in
+  let seg = Net.add_segment net ~name:"lan" () in
+  let _ = Net.attach server seg ~ifname:"eth0" ~addr:(a "10.0.0.1")
+      ~prefix:(p "10.0.0.0/24") in
+  let _ = Net.attach client seg ~ifname:"eth0" ~addr:(a "10.0.0.2")
+      ~prefix:(p "10.0.0.0/24") in
+  let srv = Mobileip.Dns_ext.Server.create server () in
+  (net, srv, client)
+
+let resolve net client ~name =
+  let got = ref None in
+  Mobileip.Dns_ext.Client.resolve client ~server:(a "10.0.0.1") ~name
+    (fun answer -> got := Some answer);
+  Net.run net;
+  !got
+
+let test_dns_permanent_record () =
+  let net, srv, client = dns_world () in
+  Mobileip.Dns_ext.Server.add_host srv ~name:"mh.home" ~addr:(a "36.1.0.5");
+  match resolve net client ~name:"mh.home" with
+  | Some ans ->
+      Alcotest.(check (option string)) "A record" (Some "36.1.0.5")
+        (Option.map Ipv4_addr.to_string ans.Mobileip.Dns_ext.Client.permanent);
+      Alcotest.(check bool) "no temporary" true
+        (ans.Mobileip.Dns_ext.Client.temporary = None)
+  | None -> Alcotest.fail "no answer"
+
+let test_dns_unknown_name () =
+  let net, _srv, client = dns_world () in
+  match resolve net client ~name:"nobody.example" with
+  | Some ans ->
+      Alcotest.(check bool) "empty answer" true
+        (ans.Mobileip.Dns_ext.Client.permanent = None
+        && ans.Mobileip.Dns_ext.Client.temporary = None)
+  | None -> Alcotest.fail "no answer"
+
+let test_dns_temporary_record_via_update () =
+  let net, srv, client = dns_world () in
+  Mobileip.Dns_ext.Server.add_host srv ~name:"mh.home" ~addr:(a "36.1.0.5");
+  Mobileip.Dns_ext.Client.publish_temporary client ~server:(a "10.0.0.1")
+    ~name:"mh.home" ~care_of:(a "131.7.0.100") ~ttl:120 ();
+  Net.run net;
+  Alcotest.(check int) "update applied" 1
+    (Mobileip.Dns_ext.Server.updates_applied srv);
+  match resolve net client ~name:"mh.home" with
+  | Some ans -> (
+      match ans.Mobileip.Dns_ext.Client.temporary with
+      | Some (coa, ttl) ->
+          Alcotest.(check string) "temporary addr" "131.7.0.100"
+            (Ipv4_addr.to_string coa);
+          Alcotest.(check bool) "ttl positive" true (ttl > 0 && ttl <= 120)
+      | None -> Alcotest.fail "temporary record missing")
+  | None -> Alcotest.fail "no answer"
+
+let test_dns_withdraw () =
+  let net, srv, client = dns_world () in
+  Mobileip.Dns_ext.Server.add_host srv ~name:"mh.home" ~addr:(a "36.1.0.5");
+  Mobileip.Dns_ext.Server.set_temporary srv ~name:"mh.home"
+    (Some (a "131.7.0.100", 120));
+  Mobileip.Dns_ext.Client.publish_temporary client ~server:(a "10.0.0.1")
+    ~name:"mh.home" ~care_of:Ipv4_addr.any ~ttl:0 ();
+  Net.run net;
+  match resolve net client ~name:"mh.home" with
+  | Some ans ->
+      Alcotest.(check bool) "withdrawn" true
+        (ans.Mobileip.Dns_ext.Client.temporary = None)
+  | None -> Alcotest.fail "no answer"
+
+let test_dns_ttl_expiry () =
+  let net, srv, client = dns_world () in
+  Mobileip.Dns_ext.Server.add_host srv ~name:"mh.home" ~addr:(a "36.1.0.5");
+  Mobileip.Dns_ext.Server.set_temporary srv ~name:"mh.home"
+    (Some (a "131.7.0.100", 10));
+  (* Let 20 simulated seconds pass. *)
+  Engine.after (Net.engine net) 20.0 (fun () -> ());
+  Net.run net;
+  match resolve net client ~name:"mh.home" with
+  | Some ans ->
+      Alcotest.(check bool) "temporary expired with its TTL" true
+        (ans.Mobileip.Dns_ext.Client.temporary = None);
+      Alcotest.(check bool) "permanent survives" true
+        (ans.Mobileip.Dns_ext.Client.permanent <> None)
+  | None -> Alcotest.fail "no answer"
+
+let test_dns_server_lookup_api () =
+  let _net, srv, _client = dns_world () in
+  Mobileip.Dns_ext.Server.add_host srv ~name:"x" ~addr:(a "1.1.1.1");
+  (match Mobileip.Dns_ext.Server.lookup srv ~name:"x" with
+  | Some (Some perm, None) ->
+      Alcotest.(check string) "perm" "1.1.1.1" (Ipv4_addr.to_string perm)
+  | _ -> Alcotest.fail "unexpected");
+  Alcotest.(check bool) "unknown is None" true
+    (Mobileip.Dns_ext.Server.lookup srv ~name:"y" = None)
+
+let suites =
+  [
+    ( "policy+dns",
+      [
+        Alcotest.test_case "policy default" `Quick test_policy_default;
+        Alcotest.test_case "policy LPM" `Quick test_policy_lpm;
+        Alcotest.test_case "policy remove" `Quick test_policy_remove;
+        Alcotest.test_case "policy parse config" `Quick test_policy_parse;
+        Alcotest.test_case "policy parse errors" `Quick
+          test_policy_parse_errors;
+        Alcotest.test_case "dns permanent record" `Quick
+          test_dns_permanent_record;
+        Alcotest.test_case "dns unknown name" `Quick test_dns_unknown_name;
+        Alcotest.test_case "dns temporary via update" `Quick
+          test_dns_temporary_record_via_update;
+        Alcotest.test_case "dns withdraw" `Quick test_dns_withdraw;
+        Alcotest.test_case "dns ttl expiry" `Quick test_dns_ttl_expiry;
+        Alcotest.test_case "dns server lookup api" `Quick
+          test_dns_server_lookup_api;
+      ] );
+  ]

@@ -1,0 +1,142 @@
+(* Routing tables: longest-prefix match, metrics, removal, and a property
+   against a reference implementation. *)
+
+open Netsim
+
+let a = Ipv4_addr.of_string
+let p = Ipv4_addr.Prefix.of_string
+
+let table_of routes =
+  let t = Routing.create () in
+  List.iter
+    (fun (prefix, gateway, iface, metric) ->
+      Routing.add t ~metric ?gateway ~prefix:(p prefix) ~iface ())
+    routes;
+  t
+
+let lookup_iface t dst =
+  Option.map (fun r -> r.Routing.iface) (Routing.lookup t (a dst))
+
+let test_longest_prefix_wins () =
+  let t =
+    table_of
+      [
+        ("10.0.0.0/8", None, "coarse", 0);
+        ("10.1.0.0/16", None, "finer", 0);
+        ("10.1.2.0/24", None, "finest", 0);
+      ]
+  in
+  Alcotest.(check (option string)) "/24" (Some "finest")
+    (lookup_iface t "10.1.2.3");
+  Alcotest.(check (option string)) "/16" (Some "finer")
+    (lookup_iface t "10.1.9.9");
+  Alcotest.(check (option string)) "/8" (Some "coarse")
+    (lookup_iface t "10.200.0.1");
+  Alcotest.(check (option string)) "miss" None (lookup_iface t "11.0.0.1")
+
+let test_default_route () =
+  let t = table_of [ ("36.1.0.0/16", None, "lan", 0) ] in
+  Routing.add_default t ~gateway:(a "10.0.0.1") ~iface:"wan";
+  Alcotest.(check (option string)) "specific" (Some "lan")
+    (lookup_iface t "36.1.5.5");
+  Alcotest.(check (option string)) "default" (Some "wan")
+    (lookup_iface t "200.1.1.1")
+
+let test_metric_tiebreak () =
+  let t =
+    table_of
+      [ ("10.0.0.0/8", None, "expensive", 10); ("10.0.0.0/8", None, "cheap", 1) ]
+  in
+  Alcotest.(check (option string)) "lower metric wins" (Some "cheap")
+    (lookup_iface t "10.1.1.1")
+
+let test_remove_prefix () =
+  let t = table_of [ ("10.0.0.0/8", None, "x", 0); ("10.1.0.0/16", None, "y", 0) ] in
+  Routing.remove t ~prefix:(p "10.1.0.0/16");
+  Alcotest.(check (option string)) "fallback to /8" (Some "x")
+    (lookup_iface t "10.1.1.1");
+  Alcotest.(check int) "one route left" 1 (List.length (Routing.routes t))
+
+let test_remove_iface () =
+  let t =
+    table_of
+      [
+        ("10.0.0.0/8", None, "eth0", 0);
+        ("20.0.0.0/8", None, "eth0", 0);
+        ("30.0.0.0/8", None, "eth1", 0);
+      ]
+  in
+  Routing.remove_iface t ~iface:"eth0";
+  Alcotest.(check int) "only eth1 remains" 1 (List.length (Routing.routes t));
+  Alcotest.(check (option string)) "eth1 still routes" (Some "eth1")
+    (lookup_iface t "30.1.1.1")
+
+let test_gateway_returned () =
+  let t = table_of [ ("0.0.0.0/0", Some (a "10.0.0.1"), "wan", 0) ] in
+  match Routing.lookup t (a "99.0.0.1") with
+  | Some r ->
+      Alcotest.(check (option string)) "gateway" (Some "10.0.0.1")
+        (Option.map Ipv4_addr.to_string r.Routing.gateway)
+  | None -> Alcotest.fail "no route"
+
+(* Reference LPM: scan all routes, filter matching, pick max bits then min
+   metric. *)
+let reference_lookup routes dst =
+  let matching =
+    List.filter (fun (prefix, _, _) -> Ipv4_addr.Prefix.mem dst prefix) routes
+  in
+  List.fold_left
+    (fun best ((prefix, metric, _) as r) ->
+      match best with
+      | None -> Some r
+      | Some (bp, bm, _) ->
+          let b = Ipv4_addr.Prefix.bits prefix and bb = Ipv4_addr.Prefix.bits bp in
+          if b > bb || (b = bb && metric < bm) then Some r else best)
+    None matching
+
+let arb_prefix =
+  QCheck.map
+    (fun ((x, y), bits) ->
+      Ipv4_addr.Prefix.make (Ipv4_addr.of_octets x y 0 0) bits)
+    QCheck.(pair (pair (0 -- 255) (0 -- 255)) (0 -- 24))
+
+let prop_matches_reference =
+  QCheck.Test.make ~name:"lookup agrees with reference LPM" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 15) (pair arb_prefix (0 -- 3)))
+        (pair (0 -- 255) (0 -- 255)))
+    (fun (routes, (x, y)) ->
+      let dst = Ipv4_addr.of_octets x y 1 1 in
+      let t = Routing.create () in
+      let tagged =
+        List.mapi
+          (fun i (prefix, metric) ->
+            let iface = Printf.sprintf "if%d" i in
+            Routing.add t ~metric ~prefix ~iface ();
+            (prefix, metric, iface))
+          routes
+      in
+      match (Routing.lookup t dst, reference_lookup tagged dst) with
+      | None, None -> true
+      | Some r, Some (bp, bm, _) ->
+          (* The chosen route must be as specific and as cheap as the
+             reference (several routes may tie). *)
+          Ipv4_addr.Prefix.bits r.Routing.prefix = Ipv4_addr.Prefix.bits bp
+          && r.Routing.metric = bm
+          && Ipv4_addr.Prefix.mem dst r.Routing.prefix
+      | _ -> false)
+
+let suites =
+  [
+    ( "routing",
+      [
+        Alcotest.test_case "longest prefix wins" `Quick test_longest_prefix_wins;
+        Alcotest.test_case "default route" `Quick test_default_route;
+        Alcotest.test_case "metric tiebreak" `Quick test_metric_tiebreak;
+        Alcotest.test_case "remove prefix" `Quick test_remove_prefix;
+        Alcotest.test_case "remove iface" `Quick test_remove_iface;
+        Alcotest.test_case "gateway returned" `Quick test_gateway_returned;
+        QCheck_alcotest.to_alcotest prop_matches_reference;
+      ] );
+  ]

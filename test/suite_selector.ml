@@ -1,0 +1,176 @@
+(* The adaptive method selector: strategies, escalation, fallback,
+   failed-method memory, convergence, policy-table integration. *)
+
+open Mobileip
+
+let dst = Netsim.Ipv4_addr.of_string "44.2.0.10"
+let other = Netsim.Ipv4_addr.of_string "44.2.0.11"
+
+let report_n sel ~dst ev n =
+  for _ = 1 to n do
+    Selector.report sel ~dst ev
+  done
+
+let test_conservative_starts_at_out_ie () =
+  let sel = Selector.create Selector.Conservative_first in
+  Alcotest.(check string) "Out-IE" "Out-IE"
+    (Grid.out_to_string (Selector.method_for sel dst))
+
+let test_conservative_escalates_on_success () =
+  let sel = Selector.create ~escalate_after:3 Selector.Conservative_first in
+  report_n sel ~dst Selector.Original_received 3;
+  Alcotest.(check string) "escalated stepwise to Out-DE" "Out-DE"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  Alcotest.(check int) "one switch" 1 (Selector.switches sel ~dst);
+  report_n sel ~dst Selector.Original_received 3;
+  Alcotest.(check string) "then Out-DH" "Out-DH"
+    (Grid.out_to_string (Selector.method_for sel dst))
+
+let test_fallback_on_retransmissions () =
+  let sel = Selector.create ~escalate_after:3 ~fallback_after:2
+      Selector.Conservative_first in
+  report_n sel ~dst Selector.Original_received 3;
+  (* Now at Out-DE; two retransmission signals drop it. *)
+  report_n sel ~dst Selector.Retransmission_detected 2;
+  let m = Selector.method_for sel dst in
+  Alcotest.(check bool) "fell back below Out-DE" true
+    (not (Grid.equal_out m Grid.Out_DE));
+  Alcotest.(check bool) "Out-DE remembered as failed" true
+    (List.exists (Grid.equal_out Grid.Out_DE) (Selector.failed_methods sel ~dst))
+
+let test_failed_method_not_reprobed () =
+  let sel = Selector.create ~escalate_after:2 ~fallback_after:1
+      Selector.Conservative_first in
+  (* Escalate to Out-DE, fail it; then successes must skip it to Out-DH,
+     fail that too; then stay at Out-IE forever. *)
+  report_n sel ~dst Selector.Original_received 2 (* -> Out-DE *);
+  report_n sel ~dst Selector.Retransmission_detected 1 (* Out-DE failed *);
+  report_n sel ~dst Selector.Original_received 2 (* -> Out-DH (skips DE) *);
+  Alcotest.(check string) "skipped failed Out-DE" "Out-DH"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  report_n sel ~dst Selector.Retransmission_detected 1 (* Out-DH failed *);
+  Alcotest.(check string) "back at Out-IE" "Out-IE"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  report_n sel ~dst Selector.Original_received 10;
+  Alcotest.(check string) "stays at Out-IE" "Out-IE"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  Alcotest.(check bool) "converged" true (Selector.converged sel ~dst)
+
+let test_aggressive_starts_at_out_dh () =
+  let sel = Selector.create Selector.Aggressive_first in
+  Alcotest.(check string) "Out-DH" "Out-DH"
+    (Grid.out_to_string (Selector.method_for sel dst))
+
+let test_aggressive_falls_back_stepwise () =
+  let sel = Selector.create ~fallback_after:2 Selector.Aggressive_first in
+  report_n sel ~dst Selector.Retransmission_detected 2;
+  Alcotest.(check string) "Out-DE next" "Out-DE"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  report_n sel ~dst Selector.Retransmission_detected 2;
+  Alcotest.(check string) "Out-IE floor" "Out-IE"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  (* The floor never falls further. *)
+  report_n sel ~dst Selector.Retransmission_detected 10;
+  Alcotest.(check string) "still Out-IE" "Out-IE"
+    (Grid.out_to_string (Selector.method_for sel dst))
+
+let test_aggressive_does_not_reescalate () =
+  let sel = Selector.create ~fallback_after:1 Selector.Aggressive_first in
+  report_n sel ~dst Selector.Retransmission_detected 1;
+  Alcotest.(check string) "fell to Out-DE" "Out-DE"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  report_n sel ~dst Selector.Original_received 50;
+  Alcotest.(check string) "no re-escalation into failed method" "Out-DE"
+    (Grid.out_to_string (Selector.method_for sel dst))
+
+let test_rule_based_pessimistic_pinned () =
+  let table = Policy_table.create ~default:Policy_table.Optimistic () in
+  Policy_table.add_rule table
+    (Netsim.Ipv4_addr.Prefix.of_string "44.2.0.0/16")
+    Policy_table.Pessimistic;
+  let sel = Selector.create (Selector.Rule_based table) in
+  Alcotest.(check string) "pessimistic region -> Out-IE" "Out-IE"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  (* Pinned: success never escalates. *)
+  report_n sel ~dst Selector.Original_received 20;
+  Alcotest.(check string) "pinned at Out-IE" "Out-IE"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  (* A destination outside the rule starts optimistic. *)
+  let outside = Netsim.Ipv4_addr.of_string "99.0.0.1" in
+  Alcotest.(check string) "optimistic elsewhere" "Out-DH"
+    (Grid.out_to_string (Selector.method_for sel outside))
+
+let test_per_destination_isolation () =
+  let sel = Selector.create ~fallback_after:1 Selector.Aggressive_first in
+  report_n sel ~dst Selector.Retransmission_detected 1;
+  Alcotest.(check string) "dst degraded" "Out-DE"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  Alcotest.(check string) "other untouched" "Out-DH"
+    (Grid.out_to_string (Selector.method_for sel other))
+
+let test_reset () =
+  let sel = Selector.create ~fallback_after:1 Selector.Aggressive_first in
+  report_n sel ~dst Selector.Retransmission_detected 1;
+  Selector.reset sel ~dst;
+  Alcotest.(check string) "fresh after reset" "Out-DH"
+    (Grid.out_to_string (Selector.method_for sel dst));
+  Alcotest.(check int) "switches cleared" 0 (Selector.switches sel ~dst)
+
+let test_thresholds_validated () =
+  Alcotest.check_raises "zero threshold"
+    (Invalid_argument "Selector.create: thresholds must be positive")
+    (fun () ->
+      ignore (Selector.create ~escalate_after:0 Selector.Conservative_first))
+
+let prop_never_selects_out_dt =
+  QCheck.Test.make ~name:"selector never selects Out-DT" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 50) bool)
+    (fun events ->
+      let sel = Selector.create Selector.Conservative_first in
+      List.for_all
+        (fun success ->
+          Selector.report sel ~dst
+            (if success then Selector.Original_received
+             else Selector.Retransmission_detected);
+          not (Grid.equal_out (Selector.method_for sel dst) Grid.Out_DT))
+        events)
+
+let prop_failure_streak_reaches_floor =
+  QCheck.Test.make ~name:"sustained failures always reach Out-IE" ~count:100
+    QCheck.(oneofl [ Selector.Conservative_first; Selector.Aggressive_first ])
+    (fun strategy ->
+      let sel = Selector.create ~fallback_after:1 strategy in
+      for _ = 1 to 10 do
+        Selector.report sel ~dst Selector.Retransmission_detected
+      done;
+      Grid.equal_out (Selector.method_for sel dst) Grid.Out_IE)
+
+let suites =
+  [
+    ( "selector",
+      [
+        Alcotest.test_case "conservative starts Out-IE" `Quick
+          test_conservative_starts_at_out_ie;
+        Alcotest.test_case "conservative escalates" `Quick
+          test_conservative_escalates_on_success;
+        Alcotest.test_case "fallback on retransmissions" `Quick
+          test_fallback_on_retransmissions;
+        Alcotest.test_case "failed method not reprobed" `Quick
+          test_failed_method_not_reprobed;
+        Alcotest.test_case "aggressive starts Out-DH" `Quick
+          test_aggressive_starts_at_out_dh;
+        Alcotest.test_case "aggressive falls back stepwise" `Quick
+          test_aggressive_falls_back_stepwise;
+        Alcotest.test_case "aggressive never re-escalates" `Quick
+          test_aggressive_does_not_reescalate;
+        Alcotest.test_case "rule-based pessimistic pinned" `Quick
+          test_rule_based_pessimistic_pinned;
+        Alcotest.test_case "per-destination isolation" `Quick
+          test_per_destination_isolation;
+        Alcotest.test_case "reset" `Quick test_reset;
+        Alcotest.test_case "thresholds validated" `Quick
+          test_thresholds_validated;
+        QCheck_alcotest.to_alcotest prop_never_selects_out_dt;
+        QCheck_alcotest.to_alcotest prop_failure_streak_reaches_floor;
+      ] );
+  ]

@@ -1,0 +1,195 @@
+(* Wire-format codecs: UDP, TCP, ICMP — roundtrips, corruption detection,
+   truncation, and property tests. *)
+
+open Netsim
+
+let src = Ipv4_addr.of_string "36.1.0.5"
+let dst = Ipv4_addr.of_string "44.2.0.10"
+
+(* ---- UDP ---- *)
+
+let test_udp_roundtrip () =
+  let u = Udp_wire.make ~src_port:5353 ~dst_port:53 (Bytes.of_string "query") in
+  let wire = Udp_wire.encode ~src ~dst u in
+  Alcotest.(check int) "length" (8 + 5) (Bytes.length wire);
+  match Udp_wire.decode ~src ~dst wire with
+  | Ok u' -> Alcotest.(check bool) "equal" true (Udp_wire.equal u u')
+  | Error e -> Alcotest.fail e
+
+let test_udp_checksum_covers_addresses () =
+  let u = Udp_wire.make ~src_port:1 ~dst_port:2 (Bytes.of_string "x") in
+  let wire = Udp_wire.encode ~src ~dst u in
+  (* Decoding under a different pseudo-header must fail.  (Note merely
+     swapping src and dst would NOT change the sum — one's-complement
+     addition is commutative.) *)
+  match Udp_wire.decode ~src:(Ipv4_addr.of_string "9.9.9.9") ~dst wire with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "checksum ignored the pseudo-header"
+
+let test_udp_corruption_detected () =
+  let u = Udp_wire.make ~src_port:1 ~dst_port:2 (Bytes.of_string "payload") in
+  let wire = Udp_wire.encode ~src ~dst u in
+  Bytes.set wire 9 'X';
+  match Udp_wire.decode ~src ~dst wire with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bit flip not detected"
+
+let test_udp_truncated () =
+  match Udp_wire.decode ~src ~dst (Bytes.create 7) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated header"
+
+let test_udp_port_range () =
+  Alcotest.check_raises "port 65536"
+    (Invalid_argument "Udp_wire: port 65536 out of range") (fun () ->
+      ignore (Udp_wire.make ~src_port:65536 ~dst_port:1 Bytes.empty))
+
+(* ---- TCP ---- *)
+
+let test_tcp_roundtrip_all_flags () =
+  List.iter
+    (fun flags ->
+      let t =
+        Tcp_wire.make ~src_port:1234 ~dst_port:80 ~seq:1000000 ~ack_n:999
+          ~flags ~window:4096 (Bytes.of_string "data!")
+      in
+      let wire = Tcp_wire.encode ~src ~dst t in
+      match Tcp_wire.decode ~src ~dst wire with
+      | Ok t' ->
+          Alcotest.(check bool)
+            (Format.asprintf "roundtrip %a" Tcp_wire.pp_flags flags)
+            true (Tcp_wire.equal t t')
+      | Error e -> Alcotest.fail e)
+    [
+      Tcp_wire.no_flags; Tcp_wire.flag_syn; Tcp_wire.flag_syn_ack;
+      Tcp_wire.flag_ack; Tcp_wire.flag_fin_ack; Tcp_wire.flag_rst;
+      { Tcp_wire.no_flags with Tcp_wire.psh = true; urg = true };
+    ]
+
+let test_tcp_seq_wraps () =
+  Alcotest.(check int) "wrap" 5 (Tcp_wire.seq_add 0xffff_ffff 6);
+  Alcotest.(check int) "no wrap" 100 (Tcp_wire.seq_add 99 1)
+
+let test_tcp_seq_bounds () =
+  Alcotest.check_raises "seq too big"
+    (Invalid_argument "Tcp_wire.make: seq 4294967296 out of range") (fun () ->
+      ignore
+        (Tcp_wire.make ~src_port:1 ~dst_port:2 ~seq:0x1_0000_0000 ~ack_n:0
+           ~flags:Tcp_wire.no_flags Bytes.empty))
+
+let test_tcp_corruption_detected () =
+  let t =
+    Tcp_wire.make ~src_port:1 ~dst_port:2 ~seq:7 ~ack_n:8
+      ~flags:Tcp_wire.flag_ack (Bytes.of_string "abc")
+  in
+  let wire = Tcp_wire.encode ~src ~dst t in
+  Bytes.set wire 4 '\xff';
+  match Tcp_wire.decode ~src ~dst wire with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "seq corruption not detected"
+
+(* ---- ICMP ---- *)
+
+let test_icmp_roundtrips () =
+  List.iter
+    (fun msg ->
+      let wire = Icmp_wire.encode msg in
+      match Icmp_wire.decode wire with
+      | Ok msg' ->
+          Alcotest.(check bool)
+            (Format.asprintf "%a" Icmp_wire.pp msg)
+            true (Icmp_wire.equal msg msg')
+      | Error e -> Alcotest.fail e)
+    [
+      Icmp_wire.Echo_request { ident = 7; seq = 3; payload = Bytes.of_string "hi" };
+      Icmp_wire.Echo_reply { ident = 7; seq = 3; payload = Bytes.create 56 };
+      Icmp_wire.Dest_unreachable
+        { code = Icmp_wire.Fragmentation_needed; context = Bytes.create 28 };
+      Icmp_wire.Dest_unreachable
+        { code = Icmp_wire.Admin_prohibited; context = Bytes.empty };
+      Icmp_wire.Time_exceeded { context = Bytes.create 28 };
+      Icmp_wire.Care_of_advert
+        {
+          home = src;
+          care_of = Ipv4_addr.of_string "131.7.0.100";
+          lifetime = 300;
+        };
+    ]
+
+let test_icmp_corruption_detected () =
+  let wire =
+    Icmp_wire.encode
+      (Icmp_wire.Echo_request { ident = 1; seq = 1; payload = Bytes.create 8 })
+  in
+  Bytes.set wire 5 '\x99';
+  match Icmp_wire.decode wire with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corruption not detected"
+
+let test_icmp_truncated () =
+  match Icmp_wire.decode (Bytes.create 4) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated message"
+
+(* ---- properties ---- *)
+
+let arb_payload = QCheck.map Bytes.of_string QCheck.(string_of_size Gen.(0 -- 200))
+let arb_port = QCheck.(0 -- 65535)
+
+let prop_udp_roundtrip =
+  QCheck.Test.make ~name:"udp roundtrip" ~count:300
+    QCheck.(triple arb_port arb_port arb_payload)
+    (fun (sp, dp, payload) ->
+      let u = Udp_wire.make ~src_port:sp ~dst_port:dp payload in
+      match Udp_wire.decode ~src ~dst (Udp_wire.encode ~src ~dst u) with
+      | Ok u' -> Udp_wire.equal u u'
+      | Error _ -> false)
+
+let prop_tcp_roundtrip =
+  QCheck.Test.make ~name:"tcp roundtrip" ~count:300
+    QCheck.(
+      pair
+        (quad arb_port arb_port (0 -- 0xfffffff) (0 -- 0xfffffff))
+        (pair bool arb_payload))
+    (fun ((sp, dp, seq, ack_n), (syn, payload)) ->
+      let flags = { Tcp_wire.flag_ack with Tcp_wire.syn } in
+      let t = Tcp_wire.make ~src_port:sp ~dst_port:dp ~seq ~ack_n ~flags payload in
+      match Tcp_wire.decode ~src ~dst (Tcp_wire.encode ~src ~dst t) with
+      | Ok t' -> Tcp_wire.equal t t'
+      | Error _ -> false)
+
+let prop_icmp_echo_roundtrip =
+  QCheck.Test.make ~name:"icmp echo roundtrip" ~count:300
+    QCheck.(triple (0 -- 65535) (0 -- 65535) arb_payload)
+    (fun (ident, seq, payload) ->
+      let m = Icmp_wire.Echo_request { ident; seq; payload } in
+      match Icmp_wire.decode (Icmp_wire.encode m) with
+      | Ok m' -> Icmp_wire.equal m m'
+      | Error _ -> false)
+
+let suites =
+  [
+    ( "wire",
+      [
+        Alcotest.test_case "udp roundtrip" `Quick test_udp_roundtrip;
+        Alcotest.test_case "udp checksum covers pseudo-header" `Quick
+          test_udp_checksum_covers_addresses;
+        Alcotest.test_case "udp corruption detected" `Quick
+          test_udp_corruption_detected;
+        Alcotest.test_case "udp truncated" `Quick test_udp_truncated;
+        Alcotest.test_case "udp port range" `Quick test_udp_port_range;
+        Alcotest.test_case "tcp roundtrip all flags" `Quick
+          test_tcp_roundtrip_all_flags;
+        Alcotest.test_case "tcp seq wraps" `Quick test_tcp_seq_wraps;
+        Alcotest.test_case "tcp seq bounds" `Quick test_tcp_seq_bounds;
+        Alcotest.test_case "tcp corruption detected" `Quick
+          test_tcp_corruption_detected;
+        Alcotest.test_case "icmp roundtrips" `Quick test_icmp_roundtrips;
+        Alcotest.test_case "icmp corruption detected" `Quick
+          test_icmp_corruption_detected;
+        Alcotest.test_case "icmp truncated" `Quick test_icmp_truncated;
+        QCheck_alcotest.to_alcotest prop_udp_roundtrip;
+        QCheck_alcotest.to_alcotest prop_tcp_roundtrip;
+        QCheck_alcotest.to_alcotest prop_icmp_echo_roundtrip;
+      ] );
+  ]
