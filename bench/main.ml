@@ -127,41 +127,86 @@ let micro_tests =
         (Staged.stage (tcp_transfer ~window:8));
     ]
 
-let run_micro () =
+let run_micro ~quota () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   let raw = Benchmark.all cfg instances micro_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.map
+    (fun (name, ols) ->
+      let ns_per_run =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> Some t | _ -> None
+      in
+      (name, ns_per_run, Analyze.OLS.r_square ols))
+    rows
+
+let print_micro rows =
   Format.printf "@.== Bechamel micro-benchmarks (monotonic clock) ==@.";
   Format.printf "  %-45s %14s %8s@." "benchmark" "time/run" "r^2";
   List.iter
-    (fun (name, ols) ->
+    (fun (name, ns, r2) ->
       let time =
-        match Analyze.OLS.estimates ols with
-        | Some (t :: _) ->
+        match ns with
+        | Some t ->
             if t > 1_000_000.0 then Printf.sprintf "%.2f ms" (t /. 1e6)
             else if t > 1_000.0 then Printf.sprintf "%.2f us" (t /. 1e3)
             else Printf.sprintf "%.1f ns" t
-        | _ -> "-"
+        | None -> "-"
       in
       let r2 =
-        match Analyze.OLS.r_square ols with
-        | Some r -> Printf.sprintf "%.3f" r
-        | None -> "-"
+        match r2 with Some r -> Printf.sprintf "%.3f" r | None -> "-"
       in
       Format.printf "  %-45s %14s %8s@." name time r2)
     rows
 
+(* Persist the run so the perf trajectory accumulates revision over
+   revision; EXPERIMENTS.md and the CI smoke run both read this file. *)
+let results_file = "BENCH_results.json"
+
+let write_json rows =
+  let open Netobs in
+  let opt f = function Some v -> f v | None -> Json.Null in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "mobility4x4-bench/1");
+        ("clock", Json.String "monotonic");
+        ( "results",
+          Json.List
+            (List.map
+               (fun (name, ns, r2) ->
+                 Json.Obj
+                   [
+                     ("name", Json.String name);
+                     ("ns_per_run", opt (fun v -> Json.Float v) ns);
+                     ("r_square", opt (fun v -> Json.Float v) r2);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out results_file in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote %d benchmark results to %s@." (List.length rows)
+    results_file
+
 let () =
-  let only_micro = Array.length Sys.argv > 1 && Sys.argv.(1) = "--micro-only" in
-  if not only_micro then begin
+  let has flag = Array.exists (fun a -> a = flag) Sys.argv in
+  let only_micro = has "--micro-only" in
+  (* --json-only: the CI smoke path — a short measurement quota, no
+     experiment tables, results still written to BENCH_results.json. *)
+  let json_only = has "--json-only" in
+  if not (only_micro || json_only) then begin
     Format.printf "Internet Mobility 4x4 - experiment reproduction@.";
     Experiments.Registry.run_all Format.std_formatter
   end;
-  run_micro ();
+  let rows = run_micro ~quota:(if json_only then 0.05 else 0.5) () in
+  if not json_only then print_micro rows;
+  write_json rows;
   Format.printf "@.done.@."

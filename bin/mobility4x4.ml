@@ -5,7 +5,13 @@
      best                    run the series of tests for a described environment
      experiments [IDS]       run experiment reproductions (default: all)
      scenario NAME           run a canned scenario with a packet trace
-     list                    list experiments and scenarios *)
+     stats                   run a reference workload and print a Netobs
+                             metrics snapshot (engine gauges, per-cell
+                             flow-latency histograms)
+     list                    list experiments and scenarios
+
+   [scenario] and [experiments] accept [--trace-json FILE] to dump the
+   full packet telemetry as JSONL (one Netobs.Export event per line). *)
 
 open Cmdliner
 
@@ -100,37 +106,131 @@ let best_cmd =
        ~doc:"Run the series of tests that picks the best cell for an environment")
     Term.(const run $ mobility $ privacy $ filtering $ decap $ aware $ knows $ segment)
 
+(* ---- structured trace export ---- *)
+
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:"Write the run's packet telemetry to $(docv) as JSONL (one \
+              trace event per line)")
+
+let open_trace_out file =
+  try Ok (open_out file)
+  with Sys_error msg -> Error (Printf.sprintf "--trace-json: %s" msg)
+
+(* Stream every trace record (from every world the run creates) to FILE. *)
+let with_trace_stream file f =
+  match file with
+  | None -> f ()
+  | Some file -> (
+      match open_trace_out file with
+      | Error e -> `Error (false, e)
+      | Ok oc ->
+      let n = ref 0 in
+      Netsim.Trace.set_sink
+        (Some
+           (fun r ->
+             incr n;
+             Netobs.Export.sink_to_channel oc r));
+      Fun.protect
+        ~finally:(fun () ->
+          Netsim.Trace.set_sink None;
+          close_out oc;
+          Printf.eprintf "trace-json: wrote %d events to %s\n%!" !n file)
+        f)
+
+(* Post-hoc dump of one finished world's trace: exactly Trace.length lines.
+   The channel is opened before the scenario runs so a bad path fails fast. *)
+let dump_trace_json oc file net =
+  let n = Netobs.Export.write_trace_jsonl oc (Netsim.Net.trace net) in
+  close_out oc;
+  Printf.eprintf "trace-json: wrote %d events to %s\n%!" n file
+
 (* ---- experiments ---- *)
 
 let experiments_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E14)")
   in
-  let run ids =
-    match ids with
-    | [] ->
-        Experiments.Registry.run_all out_fmt;
-        `Ok ()
-    | ids ->
-        let bad =
-          List.filter (fun id -> not (Experiments.Registry.run_one out_fmt id)) ids
-        in
-        if bad = [] then `Ok ()
-        else `Error (false, "unknown experiment(s): " ^ String.concat ", " bad)
+  let run ids trace_json =
+    with_trace_stream trace_json (fun () ->
+        match ids with
+        | [] ->
+            Experiments.Registry.run_all out_fmt;
+            `Ok ()
+        | ids ->
+            let bad =
+              List.filter
+                (fun id -> not (Experiments.Registry.run_one out_fmt id))
+                ids
+            in
+            if bad = [] then `Ok ()
+            else
+              `Error (false, "unknown experiment(s): " ^ String.concat ", " bad))
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the paper's figures and claims")
-    Term.(ret (const run $ ids))
+    Term.(ret (const run $ ids $ trace_json_arg))
 
 (* ---- scenario ---- *)
 
-let scenarios : (string * string * (unit -> unit)) list =
+let scenarios : (string * string * (unit -> Netsim.Net.t)) list =
   let trace_world topo f =
     Scenarios.Topo.roam topo ();
     Netsim.Trace.clear (Netsim.Net.trace topo.Scenarios.Topo.net);
     f ();
     Scenarios.Topo.run topo;
-    Netsim.Trace.dump out_fmt (Netsim.Net.trace topo.Scenarios.Topo.net)
+    Netsim.Trace.dump out_fmt (Netsim.Net.trace topo.Scenarios.Topo.net);
+    topo.Scenarios.Topo.net
+  in
+  let roaming_telnet () =
+    (* The examples/roaming_telnet.ml walk-through as a scenario: a telnet
+       session bound to the home address survives two moves.  The full
+       telemetry (registration, tunneling, every keystroke echo) stays in
+       the trace for --trace-json; only the summary is printed. *)
+    let topo = Scenarios.Topo.build () in
+    let net = topo.Scenarios.Topo.net in
+    Scenarios.Workload.tcp_echo_server topo.Scenarios.Topo.ch_node
+      ~port:Transport.Well_known.telnet;
+    let tcp = Transport.Tcp.get topo.Scenarios.Topo.mh_node in
+    let conn =
+      Transport.Tcp.connect tcp ~src:topo.Scenarios.Topo.mh_home_addr
+        ~dst:topo.Scenarios.Topo.ch_addr ~dst_port:Transport.Well_known.telnet
+        ()
+    in
+    let echoes = ref 0 in
+    Transport.Tcp.on_receive conn (fun _ -> incr echoes);
+    let type_lines n =
+      for _ = 1 to n do
+        Transport.Tcp.send_data conn (Bytes.of_string "make world\n")
+      done;
+      Netsim.Net.run net
+    in
+    let report phase =
+      Format.printf "%-28s state=%a echoes=%d location=%s@." phase
+        Transport.Tcp.pp_state (Transport.Tcp.state conn) !echoes
+        (match
+           Mobileip.Mobile_host.care_of_address topo.Scenarios.Topo.mh
+         with
+        | Some coa -> "away @ " ^ Netsim.Ipv4_addr.to_string coa
+        | None -> "at home")
+    in
+    type_lines 3;
+    report "working at home:";
+    Scenarios.Topo.roam topo ();
+    type_lines 3;
+    report "moved to visited network:";
+    Scenarios.Topo.come_home topo;
+    type_lines 3;
+    report "back home again:";
+    Format.printf "retransmissions over the whole session: %d@."
+      (Transport.Tcp.retransmissions conn);
+    Format.printf "trace: %d events across %d flows@."
+      (Netsim.Trace.length (Netsim.Net.trace net))
+      (List.length (Netsim.Trace.flows (Netsim.Net.trace net)));
+    net
   in
   [
     ( "basic-tunnel",
@@ -174,17 +274,29 @@ let scenarios : (string * string * (unit -> unit)) list =
                 Transport.Icmp_service.ping icmp
                   ~dst:topo.Scenarios.Topo.mh_home_addr (fun ~rtt ->
                     Format.printf "second rtt: %s@." (Experiments.Table.ms rtt)))) );
+    ( "roaming_telnet",
+      "Section 2: a telnet session survives two moves (summary + full trace)",
+      roaming_telnet );
   ]
 
 let scenario_cmd =
   let scenario_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Scenario name")
   in
-  let run name =
+  let run name trace_json =
     match List.find_opt (fun (n, _, _) -> n = name) scenarios with
-    | Some (_, _, f) ->
-        f ();
-        `Ok ()
+    | Some (_, _, f) -> (
+        match trace_json with
+        | None ->
+            let (_ : Netsim.Net.t) = f () in
+            `Ok ()
+        | Some file -> (
+            match open_trace_out file with
+            | Error e -> `Error (false, e)
+            | Ok oc ->
+                let net = f () in
+                dump_trace_json oc file net;
+                `Ok ()))
     | None ->
         `Error
           ( false,
@@ -193,7 +305,7 @@ let scenario_cmd =
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a canned scenario and dump its packet trace")
-    Term.(ret (const run $ scenario_arg))
+    Term.(ret (const run $ scenario_arg $ trace_json_arg))
 
 let rules_cmd =
   let file =
@@ -231,6 +343,86 @@ let rules_cmd =
        ~doc:"Look up a destination in a user policy-rules file (section 7.1.2)")
     Term.(ret (const run $ file $ dst))
 
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the snapshot as JSON instead of a table")
+  in
+  let run json =
+    let reg = Netobs.Metrics.create () in
+    let gauge name help v =
+      Netobs.Metrics.set (Netobs.Metrics.gauge reg ~help name) v
+    in
+    let count name help by =
+      Netobs.Metrics.incr ~by (Netobs.Metrics.counter reg ~help name)
+    in
+    (* Reference world: the standard topology, a roam and a tunneled ping;
+       its engine statistics become the engine gauges. *)
+    let topo = Scenarios.Topo.build () in
+    let net = topo.Scenarios.Topo.net in
+    Scenarios.Topo.roam topo ();
+    let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
+    Transport.Icmp_service.ping icmp ~dst:topo.Scenarios.Topo.mh_home_addr
+      (fun ~rtt:_ -> ());
+    Scenarios.Topo.run topo;
+    let st = Netsim.Engine.stats (Netsim.Net.engine net) in
+    gauge "engine_events_executed" "events run by the reference world's engine"
+      (float_of_int st.Netsim.Engine.executed);
+    gauge "engine_queue_depth" "pending events when the run finished"
+      (float_of_int st.Netsim.Engine.pending);
+    gauge "engine_queue_depth_max" "high-water mark of the event queue"
+      (float_of_int st.Netsim.Engine.max_pending);
+    gauge "engine_runs_truncated" "runs stopped by the max_events guard"
+      (float_of_int st.Netsim.Engine.truncated);
+    gauge "engine_sim_time_s" "simulated seconds" st.Netsim.Engine.sim_time;
+    gauge "engine_wall_time_s" "host CPU seconds inside Engine.run"
+      st.Netsim.Engine.wall_time;
+    let trace = Netsim.Net.trace net in
+    count "trace_events_total" "trace records in the reference world"
+      (Netsim.Trace.length trace);
+    count "trace_flows_total" "distinct flows in the reference world"
+      (List.length (Netsim.Trace.flows trace));
+    (* Per-cell flow-latency histograms from live conversations (the E8
+       harness): one histogram per non-broken grid cell, fed with the
+       one-way latencies of its request and reply flows. *)
+    List.iter
+      (fun cell ->
+        if Mobileip.Grid.classify cell <> Mobileip.Grid.Broken then begin
+          let r = Experiments.E08_grid.run_cell cell in
+          let h =
+            Netobs.Metrics.histogram reg
+              ~help:"one-way flow latency, both directions"
+              (Printf.sprintf "flow_latency_ms{cell=%s}"
+                 (Mobileip.Grid.cell_to_string cell))
+          in
+          let observe = function
+            | Some l -> Netobs.Metrics.observe h (l *. 1000.0)
+            | None -> ()
+          in
+          observe r.Mobileip.Conversation.request_latency;
+          observe r.Mobileip.Conversation.reply_latency;
+          count "cell_requests_delivered_total"
+            "requests delivered across all measured cells"
+            r.Mobileip.Conversation.requests_delivered;
+          count "cell_replies_delivered_total"
+            "replies delivered across all measured cells"
+            r.Mobileip.Conversation.replies_delivered
+        end)
+      Mobileip.Grid.all_cells;
+    let snap = Netobs.Metrics.snapshot reg in
+    if json then
+      print_endline (Netobs.Json.to_string (Netobs.Metrics.snapshot_to_json snap))
+    else Netobs.Metrics.pp_snapshot out_fmt snap
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a reference workload and print a metrics snapshot (engine \
+             gauges, per-cell flow-latency histograms)")
+    Term.(const run $ json)
+
 let list_cmd =
   let run () =
     Format.printf "experiments:@.";
@@ -251,5 +443,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ grid_cmd; best_cmd; experiments_cmd; scenario_cmd; rules_cmd;
-            list_cmd ]))
+          [ grid_cmd; best_cmd; experiments_cmd; scenario_cmd; stats_cmd;
+            rules_cmd; list_cmd ]))

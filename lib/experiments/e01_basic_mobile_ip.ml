@@ -18,6 +18,7 @@ let run () =
   in
   Net.run net;
   let cost_in = Common.cost_of_flow net ~flow:flow_in ~target:"mh" in
+  let note_in = Common.span_note net ~label:"CH->MH" ~flow:flow_in in
   (* MH -> CH with Out-DH (no filtering in this world): direct. *)
   Common.fresh_trace net;
   Mobileip.Mobile_host.set_default_method topo.Scenarios.Topo.mh
@@ -59,5 +60,7 @@ let run () =
           "asymmetry: incoming path %d hops vs outgoing %d; incoming bytes \
            include the 20-byte IP-in-IP header for the tunneled leg"
           cost_in.Common.hops cost_out.Common.hops;
+        note_in;
+        Common.span_note net ~label:"MH->CH" ~flow:flow_out;
       ];
   }

@@ -3,3 +3,8 @@
 val run : unit -> Table.t
 (** Build the experiment's world(s), run the measurement, and return the
     result table. *)
+
+val run_cell : Mobileip.Grid.cell -> Mobileip.Conversation.udp_result
+(** Run one cell's bidirectional UDP exchange on a fresh world (the In-DH
+    row gets a shared-segment world).  Also used by the [stats] CLI to
+    populate per-cell flow-latency histograms. *)

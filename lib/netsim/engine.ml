@@ -1,13 +1,54 @@
-type t = { queue : (unit -> unit) Pqueue.t; mutable clock : float }
+type stats = {
+  executed : int;
+  pending : int;
+  max_pending : int;
+  truncated : int;
+  sim_time : float;
+  wall_time : float;
+}
 
-let create () = { queue = Pqueue.create (); clock = 0.0 }
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable clock : float;
+  mutable executed : int;
+  mutable max_pending : int;
+  mutable truncated : int;
+  mutable wall_time : float;
+  mutable observer : (stats -> unit) option;
+}
+
+let create () =
+  {
+    queue = Pqueue.create ();
+    clock = 0.0;
+    executed = 0;
+    max_pending = 0;
+    truncated = 0;
+    wall_time = 0.0;
+    observer = None;
+  }
+
 let now t = t.clock
+
+let stats t =
+  {
+    executed = t.executed;
+    pending = Pqueue.length t.queue;
+    max_pending = t.max_pending;
+    truncated = t.truncated;
+    sim_time = t.clock;
+    wall_time = t.wall_time;
+  }
+
+let set_observer t f = t.observer <- f
 
 let schedule t ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at t.clock);
-  Pqueue.add t.queue ~priority:at f
+  Pqueue.add t.queue ~priority:at f;
+  let depth = Pqueue.length t.queue in
+  if depth > t.max_pending then t.max_pending <- depth
 
 let after t delay f =
   if delay < 0.0 then invalid_arg "Engine.after: negative delay";
@@ -23,10 +64,12 @@ let step t =
   | None -> false
   | Some (at, f) ->
       t.clock <- at;
+      t.executed <- t.executed + 1;
       f ();
       true
 
 let run ?until ?(max_events = 10_000_000) t =
+  let wall_start = Sys.time () in
   let events = ref 0 in
   let continue = ref true in
   while !continue && !events < max_events do
@@ -40,7 +83,17 @@ let run ?until ?(max_events = 10_000_000) t =
         | _ ->
             ignore (step t);
             incr events)
-  done
+  done;
+  if !continue && !events >= max_events && not (Pqueue.is_empty t.queue) then begin
+    (* The runaway guard fired: the run stopped with work still queued.
+       Record it so callers (and the metrics layer) can see it. *)
+    t.truncated <- t.truncated + 1;
+    Logs.warn (fun m ->
+        m "Engine.run: stopped after %d events with %d still pending"
+          max_events (Pqueue.length t.queue))
+  end;
+  t.wall_time <- t.wall_time +. (Sys.time () -. wall_start);
+  match t.observer with Some f -> f (stats t) | None -> ()
 
 let pending t = Pqueue.length t.queue
 let clear t = Pqueue.clear t.queue

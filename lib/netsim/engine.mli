@@ -30,7 +30,29 @@ val cancellable_after : t -> float -> (unit -> unit) -> unit -> unit
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Drain the event queue.  Stops when empty, when simulated time would
     exceed [until], or after [max_events] events (default 10 million, a
-    runaway guard). *)
+    runaway guard).  A run stopped by the guard is no longer silent: it
+    logs a warning and increments [truncated] in {!stats}. *)
+
+(** {1 Statistics}
+
+    The engine keeps cheap running statistics so the observability layer
+    can expose them as gauges without instrumenting call sites. *)
+
+type stats = {
+  executed : int;  (** events executed since [create] *)
+  pending : int;  (** current queue depth *)
+  max_pending : int;  (** high-water mark of the queue depth *)
+  truncated : int;  (** runs stopped by the [max_events] guard *)
+  sim_time : float;  (** current simulated time, seconds *)
+  wall_time : float;  (** host CPU seconds spent inside [run] *)
+}
+
+val stats : t -> stats
+
+val set_observer : t -> (stats -> unit) option -> unit
+(** Install (or clear) a hook called with fresh statistics at the end of
+    every [run] — how a metrics registry tracks an engine it does not
+    own. *)
 
 val step : t -> bool
 (** Run a single event.  Returns false when the queue is empty. *)

@@ -46,21 +46,29 @@ type event =
 
 type record = { time : float; event : event }
 
-type t = { mutable rev_records : record list; mutable count : int }
+(* Per-flow index: the flow's records (newest first) plus running counters,
+   so the flow queries below are O(flow) or O(1) instead of re-walking (and
+   re-reversing) the whole log on every call. *)
+type flow_entry = {
+  mutable f_rev_records : record list;
+  mutable f_transmissions : int;
+  mutable f_wire_bytes : int;
+}
 
-let create () = { rev_records = []; count = 0 }
+type t = {
+  mutable rev_records : record list;
+  mutable count : int;
+  by_flow : (int, flow_entry) Hashtbl.t;
+}
 
-let record t ~time event =
-  t.rev_records <- { time; event } :: t.rev_records;
-  t.count <- t.count + 1
+(* Optional process-wide tap, fed every record from every trace as it is
+   written.  This is how the CLI streams JSONL telemetry out of code that
+   builds its own worlds internally (e.g. the experiment runners). *)
+let sink : (record -> unit) option ref = ref None
 
-let records t = List.rev t.rev_records
+let set_sink f = sink := f
 
-let clear t =
-  t.rev_records <- [];
-  t.count <- 0
-
-let length t = t.count
+let create () = { rev_records = []; count = 0; by_flow = Hashtbl.create 64 }
 
 let frame_of = function
   | Send { frame; _ }
@@ -72,24 +80,54 @@ let frame_of = function
   | Decapsulate { frame; _ } ->
       frame
 
+let flow_entry t flow =
+  match Hashtbl.find_opt t.by_flow flow with
+  | Some e -> e
+  | None ->
+      let e = { f_rev_records = []; f_transmissions = 0; f_wire_bytes = 0 } in
+      Hashtbl.add t.by_flow flow e;
+      e
+
+let record t ~time event =
+  let r = { time; event } in
+  t.rev_records <- r :: t.rev_records;
+  t.count <- t.count + 1;
+  let e = flow_entry t (frame_of event).flow in
+  e.f_rev_records <- r :: e.f_rev_records;
+  (match event with
+  | Transmit { bytes; _ } ->
+      e.f_transmissions <- e.f_transmissions + 1;
+      e.f_wire_bytes <- e.f_wire_bytes + bytes
+  | _ -> ());
+  match !sink with Some f -> f r | None -> ()
+
+let records t = List.rev t.rev_records
+
+let clear t =
+  t.rev_records <- [];
+  t.count <- 0;
+  Hashtbl.reset t.by_flow
+
+let length t = t.count
+
+let flows t =
+  Hashtbl.fold (fun flow _ acc -> flow :: acc) t.by_flow []
+  |> List.sort compare
+
 let flow_records t ~flow =
-  List.filter (fun r -> (frame_of r.event).flow = flow) (records t)
+  match Hashtbl.find_opt t.by_flow flow with
+  | None -> []
+  | Some e -> List.rev e.f_rev_records
 
 let transmissions t ~flow =
-  List.fold_left
-    (fun acc r ->
-      match r.event with
-      | Transmit { frame; _ } when frame.flow = flow -> acc + 1
-      | _ -> acc)
-    0 (records t)
+  match Hashtbl.find_opt t.by_flow flow with
+  | None -> 0
+  | Some e -> e.f_transmissions
 
 let wire_bytes t ~flow =
-  List.fold_left
-    (fun acc r ->
-      match r.event with
-      | Transmit { frame; bytes; _ } when frame.flow = flow -> acc + bytes
-      | _ -> acc)
-    0 (records t)
+  match Hashtbl.find_opt t.by_flow flow with
+  | None -> 0
+  | Some e -> e.f_wire_bytes
 
 let delivery_time t ~flow ~node =
   List.find_map
@@ -98,7 +136,7 @@ let delivery_time t ~flow ~node =
       | Deliver { node = n; frame } when n = node && frame.flow = flow ->
           Some r.time
       | _ -> None)
-    (records t)
+    (flow_records t ~flow)
 
 let delivered t ~flow ~node = delivery_time t ~flow ~node <> None
 
@@ -108,7 +146,7 @@ let send_time t ~flow =
       match r.event with
       | Send { frame; _ } when frame.flow = flow -> Some r.time
       | _ -> None)
-    (records t)
+    (flow_records t ~flow)
 
 let drops t ~flow =
   List.filter_map
@@ -117,7 +155,7 @@ let drops t ~flow =
       | Drop { node; reason; frame } when frame.flow = flow ->
           Some (node, reason)
       | _ -> None)
-    (records t)
+    (flow_records t ~flow)
 
 let path t ~flow =
   List.filter_map
@@ -131,7 +169,7 @@ let path t ~flow =
         when frame.flow = flow ->
           Some node
       | _ -> None)
-    (records t)
+    (flow_records t ~flow)
   |> List.fold_left
        (fun acc node ->
          match acc with

@@ -59,7 +59,20 @@ val records : t -> record list
 val clear : t -> unit
 val length : t -> int
 
-(** {1 Flow queries} *)
+val set_sink : (record -> unit) option -> unit
+(** Install (or clear) a process-wide tap receiving every record from
+    {e every} trace as it is written — the hook behind the CLI's
+    [--trace-json] streaming export.  The sink must not call back into the
+    trace it is observing.  Exactly one sink can be active at a time. *)
+
+(** {1 Flow queries}
+
+    All flow queries are served from a per-flow index maintained
+    incrementally by {!record}: [transmissions] and [wire_bytes] are O(1)
+    running counters, the others walk only the flow's own records. *)
+
+val flows : t -> int list
+(** Every flow id that has at least one record, ascending. *)
 
 val flow_records : t -> flow:int -> record list
 val transmissions : t -> flow:int -> int

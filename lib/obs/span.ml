@@ -1,0 +1,83 @@
+open Netsim
+
+type t = {
+  flow : int;
+  send_time : float option;
+  deliver_time : float option;
+  latency : float option;
+  transmissions : int;
+  wire_bytes : int;
+  encap_depth : int;
+  drops : (string * Trace.drop_reason) list;
+  delivered_to : string list;
+}
+
+let rec packet_depth (pkt : Ipv4_packet.t) =
+  match pkt.Ipv4_packet.payload with
+  | Ipv4_packet.Encap inner
+  | Ipv4_packet.Gre_encap inner
+  | Ipv4_packet.Min_encap inner ->
+      1 + packet_depth inner
+  | _ -> 0
+
+let of_flow trace ~flow =
+  let records = Trace.flow_records trace ~flow in
+  let send_time = ref None in
+  let deliver_time = ref None in
+  let encap_depth = ref 0 in
+  let drops = ref [] in
+  let delivered_to = ref [] in
+  List.iter
+    (fun r ->
+      let frame =
+        match r.Trace.event with
+        | Trace.Send { frame; _ }
+        | Trace.Transmit { frame; _ }
+        | Trace.Forward { frame; _ }
+        | Trace.Drop { frame; _ }
+        | Trace.Deliver { frame; _ }
+        | Trace.Encapsulate { frame; _ }
+        | Trace.Decapsulate { frame; _ } ->
+            frame
+      in
+      let depth = packet_depth frame.Trace.pkt in
+      if depth > !encap_depth then encap_depth := depth;
+      match r.Trace.event with
+      | Trace.Send _ -> if !send_time = None then send_time := Some r.Trace.time
+      | Trace.Deliver { node; _ } ->
+          if !deliver_time = None then deliver_time := Some r.Trace.time;
+          if not (List.mem node !delivered_to) then
+            delivered_to := node :: !delivered_to
+      | Trace.Drop { node; reason; _ } -> drops := (node, reason) :: !drops
+      | _ -> ())
+    records;
+  let latency =
+    match (!send_time, !deliver_time) with
+    | Some t0, Some t1 -> Some (t1 -. t0)
+    | _ -> None
+  in
+  {
+    flow;
+    send_time = !send_time;
+    deliver_time = !deliver_time;
+    latency;
+    transmissions = Trace.transmissions trace ~flow;
+    wire_bytes = Trace.wire_bytes trace ~flow;
+    encap_depth = !encap_depth;
+    drops = List.rev !drops;
+    delivered_to = List.rev !delivered_to;
+  }
+
+let all trace = List.map (fun flow -> of_flow trace ~flow) (Trace.flows trace)
+
+let pp fmt t =
+  Format.fprintf fmt "flow %d: latency=%s hops=%d bytes=%d encap<=%d drops=%d"
+    t.flow
+    (match t.latency with
+    | Some l -> Printf.sprintf "%.1fms" (l *. 1000.0)
+    | None -> "-")
+    t.transmissions t.wire_bytes t.encap_depth (List.length t.drops);
+  match t.delivered_to with
+  | [] -> ()
+  | nodes ->
+      Format.fprintf fmt " delivered=%s" (String.concat "," nodes)

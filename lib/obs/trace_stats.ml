@@ -1,0 +1,48 @@
+open Netsim
+
+let link_bytes trace =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r.Trace.event with
+      | Trace.Transmit { link; bytes; _ } ->
+          Hashtbl.replace table link
+            (bytes + Option.value (Hashtbl.find_opt table link) ~default:0)
+      | _ -> ())
+    (Trace.records trace);
+  Hashtbl.fold (fun link bytes acc -> (link, bytes) :: acc) table []
+  |> List.sort (fun (x, _) (y, _) -> String.compare x y)
+
+let total_bytes trace =
+  List.fold_left (fun acc (_, b) -> acc + b) 0 (link_bytes trace)
+
+let backbone_bytes trace =
+  List.fold_left
+    (fun acc (link, b) ->
+      if String.length link >= 3 && String.index_opt link '<' <> None then
+        acc + b
+      else acc)
+    0 (link_bytes trace)
+
+let bytes_on trace ~link =
+  Option.value (List.assoc_opt link (link_bytes trace)) ~default:0
+
+let drops_by_reason trace =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match r.Trace.event with
+      | Trace.Drop { reason; _ } ->
+          Hashtbl.replace table reason
+            (1 + Option.value (Hashtbl.find_opt table reason) ~default:0)
+      | _ -> ())
+    (Trace.records trace);
+  Hashtbl.fold (fun reason n acc -> (reason, n) :: acc) table []
+
+let delivered_count trace ~node =
+  List.fold_left
+    (fun acc r ->
+      match r.Trace.event with
+      | Trace.Deliver { node = n; _ } when n = node -> acc + 1
+      | _ -> acc)
+    0 (Trace.records trace)

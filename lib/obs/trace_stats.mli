@@ -1,0 +1,16 @@
+(** Whole-trace aggregates: per-link byte accounting, drop and delivery
+    statistics.  [Scenarios.Metrics] is a thin wrapper over this module;
+    each function folds the record list once. *)
+
+val link_bytes : Netsim.Trace.t -> (string * int) list
+(** Total bytes transmitted per link, sorted by link name. *)
+
+val total_bytes : Netsim.Trace.t -> int
+
+val backbone_bytes : Netsim.Trace.t -> int
+(** Bytes on point-to-point links (names containing ["<->"]). *)
+
+val bytes_on : Netsim.Trace.t -> link:string -> int
+
+val drops_by_reason : Netsim.Trace.t -> (Netsim.Trace.drop_reason * int) list
+val delivered_count : Netsim.Trace.t -> node:string -> int

@@ -1,48 +1,12 @@
 open Netsim
 
-let link_bytes net =
-  let table = Hashtbl.create 16 in
-  List.iter
-    (fun r ->
-      match r.Trace.event with
-      | Trace.Transmit { link; bytes; _ } ->
-          Hashtbl.replace table link
-            (bytes + Option.value (Hashtbl.find_opt table link) ~default:0)
-      | _ -> ())
-    (Trace.records (Net.trace net));
-  Hashtbl.fold (fun link bytes acc -> (link, bytes) :: acc) table []
-  |> List.sort (fun (x, _) (y, _) -> String.compare x y)
+(* All aggregation lives in Netobs.Trace_stats; these wrappers keep the
+   historical Net-based interface the experiments use. *)
 
-let total_bytes net =
-  List.fold_left (fun acc (_, b) -> acc + b) 0 (link_bytes net)
-
-let backbone_bytes net =
-  List.fold_left
-    (fun acc (link, b) ->
-      if String.length link >= 3 && String.index_opt link '<' <> None then
-        acc + b
-      else acc)
-    0 (link_bytes net)
-
-let bytes_on net ~link =
-  Option.value (List.assoc_opt link (link_bytes net)) ~default:0
-
-let drops_by_reason net =
-  let table = Hashtbl.create 8 in
-  List.iter
-    (fun r ->
-      match r.Trace.event with
-      | Trace.Drop { reason; _ } ->
-          Hashtbl.replace table reason
-            (1 + Option.value (Hashtbl.find_opt table reason) ~default:0)
-      | _ -> ())
-    (Trace.records (Net.trace net));
-  Hashtbl.fold (fun reason n acc -> (reason, n) :: acc) table []
-
+let link_bytes net = Netobs.Trace_stats.link_bytes (Net.trace net)
+let total_bytes net = Netobs.Trace_stats.total_bytes (Net.trace net)
+let backbone_bytes net = Netobs.Trace_stats.backbone_bytes (Net.trace net)
+let bytes_on net ~link = Netobs.Trace_stats.bytes_on (Net.trace net) ~link
+let drops_by_reason net = Netobs.Trace_stats.drops_by_reason (Net.trace net)
 let delivered_count net ~node =
-  List.fold_left
-    (fun acc r ->
-      match r.Trace.event with
-      | Trace.Deliver { node = n; _ } when n = node -> acc + 1
-      | _ -> acc)
-    0 (Trace.records (Net.trace net))
+  Netobs.Trace_stats.delivered_count (Net.trace net) ~node

@@ -1,6 +1,10 @@
 (** Trace post-processing used by experiments: per-link byte accounting and
     loss statistics — the "load on the shared resources of the Internet"
-    the paper's §3.2 worries about. *)
+    the paper's §3.2 worries about.
+
+    Since the observability layer landed this is a thin facade over
+    [Netobs.Trace_stats]; the aggregation itself lives there so the CLI,
+    tests and experiments all read the same numbers. *)
 
 val link_bytes : Netsim.Net.t -> (string * int) list
 (** Total bytes transmitted per link, sorted by link name. *)
