@@ -412,6 +412,46 @@ let stats_cmd =
             r.Mobileip.Conversation.replies_delivered
         end)
       Mobileip.Grid.all_cells;
+    (* Fault-injection reference: one E16 churn cell (In-IE/Out-IE — the
+       always-works cell, and the one every scripted fault touches) feeds
+       the fault counters and the recovery-time histogram. *)
+    let churn =
+      Experiments.E16_handover_churn.run_cell
+        { Mobileip.Grid.incoming = Mobileip.Grid.In_IE;
+          outgoing = Mobileip.Grid.Out_IE }
+    in
+    let fault = churn.Experiments.E16_handover_churn.fault in
+    count "fault_link_flap_drops_total"
+      "frame copies dropped on scripted-down links (E16 reference cell)"
+      fault.Netsim.Fault.flap_drops;
+    count "fault_partition_drops_total"
+      "frame copies dropped crossing a scripted partition"
+      fault.Netsim.Fault.partition_drops;
+    count "fault_duplicated_total"
+      "extra frame copies injected by duplication windows"
+      fault.Netsim.Fault.duplicated;
+    count "fault_delayed_total" "frame copies given reordering jitter"
+      fault.Netsim.Fault.delayed;
+    count "churn_probes_lost_total"
+      "probes never delivered during the E16 reference churn"
+      churn.Experiments.E16_handover_churn.lost;
+    count "churn_reg_transmissions_total"
+      "registration requests (retries included) the churn cost"
+      churn.Experiments.E16_handover_churn.reg_transmissions;
+    let rh =
+      Netobs.Metrics.histogram reg
+        ~help:"delivery gap after each disruptive event (E16 reference cell)"
+        "churn_recovery_ms"
+    in
+    List.iter
+      (function
+        | Some s -> Netobs.Metrics.observe rh (s *. 1000.0)
+        | None -> ())
+      [
+        churn.Experiments.E16_handover_churn.move1_recovery;
+        churn.Experiments.E16_handover_churn.move2_recovery;
+        churn.Experiments.E16_handover_churn.crash_recovery;
+      ];
     let snap = Netobs.Metrics.snapshot reg in
     if json then
       print_endline (Netobs.Json.to_string (Netobs.Metrics.snapshot_to_json snap))

@@ -37,6 +37,23 @@ type udp_result = {
 
 val pp_udp_result : Format.formatter -> udp_result -> unit
 
+val configure :
+  mh:Mobile_host.t ->
+  ch:Correspondent.t ->
+  ch_addr:Netsim.Ipv4_addr.t ->
+  cell:Grid.cell ->
+  Netsim.Ipv4_addr.t * Netsim.Ipv4_addr.t
+(** Force both sides into the cell's methods — the correspondent's
+    incoming method for the MH's home address, the MH's outgoing method
+    for [ch_addr] (cleared for Out-DT, which is an application decision),
+    and a pre-learned binding at the correspondent.  Returns
+    [(home, care_of)].  The churn harness (E16) reuses this to run its own
+    traffic pattern.  @raise Invalid_argument if the MH is at home. *)
+
+val deconfigure :
+  mh:Mobile_host.t -> ch:Correspondent.t -> ch_addr:Netsim.Ipv4_addr.t -> unit
+(** Undo {!configure}'s forced methods. *)
+
 val run_udp :
   net:Netsim.Net.t ->
   mh:Mobile_host.t ->

@@ -10,6 +10,7 @@ type t = {
       (* home address, requester source — awaiting a home-agent reply *)
   mutable delivered : int;
   mutable relayed : int;
+  mutable up : bool;  (* false while crashed *)
 }
 
 let node t = t.fa_node
@@ -46,6 +47,8 @@ let mh_mac t home = Net.neighbour_on_segment t.fa_node home
 (* Relay registration traffic.  Requests come from visitors on the
    segment; replies come back from home agents. *)
 let handle_registration t udp (dgram : Transport.Udp_service.datagram) =
+  if not t.up then ()
+  else
   let payload = dgram.Transport.Udp_service.payload in
   if Registration.is_request payload then begin
     match
@@ -84,7 +87,8 @@ let handle_registration t udp (dgram : Transport.Udp_service.datagram) =
 
 (* Decapsulate tunnels from the home agent and deliver the final hop. *)
 let intercept t ~flow (pkt : Ipv4_packet.t) =
-  if not (Ipv4_addr.equal pkt.Ipv4_packet.dst (address t)) then false
+  if not t.up then false
+  else if not (Ipv4_addr.equal pkt.Ipv4_packet.dst (address t)) then false
   else
     match Encap.unwrap pkt with
     | None -> false
@@ -109,7 +113,7 @@ let create fa_node ~iface ?(advert_interval = 5.0) ?(advertise = true)
     ?(advert_count = 12) () =
   let t =
     { fa_node; iface; visitor_list = []; pending = []; delivered = 0;
-      relayed = 0 }
+      relayed = 0; up = true }
   in
   let udp = Transport.Udp_service.get fa_node in
   Transport.Udp_service.listen udp ~port:Transport.Well_known.mip_registration
@@ -121,17 +125,29 @@ let create fa_node ~iface ?(advert_interval = 5.0) ?(advertise = true)
        terminate, and stay well inside a registration lifetime so draining
        does not expire bindings. *)
     let rec beacon n =
-      ignore
-        (Transport.Udp_service.send udp ~src:(address t)
-           ~dst:Ipv4_addr.broadcast ~via:t.iface ~src_port:advert_port
-           ~dst_port:advert_port
-           (advert_payload (address t)));
+      if t.up then
+        ignore
+          (Transport.Udp_service.send udp ~src:(address t)
+             ~dst:Ipv4_addr.broadcast ~via:t.iface ~src_port:advert_port
+             ~dst_port:advert_port
+             (advert_payload (address t)));
       if n < advert_count then
         Engine.after eng advert_interval (fun () -> beacon (n + 1))
     in
     beacon 0
   end;
   t
+
+(* Crash/restart: the visitor list and the pending-relay table are soft
+   state; while down the FA neither relays registrations, delivers
+   tunnels, nor beacons.  Visitors must re-register after a restart. *)
+let crash t =
+  t.up <- false;
+  t.visitor_list <- [];
+  t.pending <- []
+
+let restart t = t.up <- true
+let is_up t = t.up
 
 let advert_agent_address = advert_addr
 

@@ -47,6 +47,16 @@ val packets_delivered : t -> int
 
 val registrations_relayed : t -> int
 
+(** {1 Crash and restart}
+
+    The visitor list and pending-relay table are soft state: a crash loses
+    both, and while down the agent neither relays registrations, delivers
+    tunnels, nor beacons.  Visitors must re-register after a restart. *)
+
+val crash : t -> unit
+val restart : t -> unit
+val is_up : t -> bool
+
 val on_advert :
   Netsim.Net.node -> (fa_addr:Netsim.Ipv4_addr.t -> unit) -> unit
 (** Client side: listen (once) for the next agent advertisement on the

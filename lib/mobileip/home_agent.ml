@@ -18,6 +18,8 @@ type t = {
   mutable mcast_subs : (Ipv4_addr.t * Ipv4_addr.t) list;
       (* (group, subscriber home address) *)
   mutable mcast_relayed : int;
+  mutable up : bool;  (* false while crashed: no replies, no forwarding *)
+  mutable purged : int;  (* bindings removed by the periodic purge *)
 }
 
 let node t = t.ha_node
@@ -69,7 +71,41 @@ let install_binding t (b : Types.binding) =
      the mobile host now reaches us (gratuitous proxy ARP, RFC 1027). *)
   Net.gratuitous_arp t.ha_node t.home_iface b.Types.home
 
+(* Eager counterpart to the lazy expiry above: sweep the whole table once,
+   tearing down proxy-ARP/claim state for every expired binding.  Lazy
+   expiry only fires when a particular binding is consulted, so a mobile
+   host that went quiet would otherwise leave its proxy-ARP entry parked on
+   the home segment indefinitely. *)
+let purge_expired t =
+  let now = Net.node_now t.ha_node in
+  let expired =
+    List.filter
+      (fun b -> not (Types.binding_valid ~now b))
+      t.binding_table
+  in
+  List.iter (fun b -> remove_binding t b.Types.home) expired;
+  t.purged <- t.purged + List.length expired;
+  List.length expired
+
+let bindings_purged t = t.purged
+
+let enable_purge t ?(interval = 30.0) ?(ticks = 20) () =
+  if interval <= 0.0 then
+    invalid_arg "Home_agent.enable_purge: interval must be positive";
+  let eng = Net.node_engine t.ha_node in
+  (* Bounded tick count, like the keepalive budget: an unbounded timer
+     would keep the event queue from ever draining. *)
+  let rec tick remaining =
+    if remaining > 0 then
+      Engine.after eng interval (fun () ->
+          if t.up then ignore (purge_expired t);
+          tick (remaining - 1))
+  in
+  tick ticks
+
 let handle_registration t udp (dgram : Transport.Udp_service.datagram) =
+  if not t.up then ()
+  else
   match Registration.decode_request ~key:t.auth_key dgram.payload with
   | Error _ ->
       t.denied <- t.denied + 1;
@@ -198,7 +234,8 @@ let relay_multicast t ~flow (pkt : Ipv4_packet.t) =
   subscribers <> []
 
 let intercept t ~flow (pkt : Ipv4_packet.t) =
-  if Ipv4_addr.is_multicast pkt.Ipv4_packet.dst then
+  if not t.up then false
+  else if Ipv4_addr.is_multicast pkt.Ipv4_packet.dst then
     relay_multicast t ~flow pkt
   else
   match binding_for t pkt.Ipv4_packet.dst with
@@ -263,6 +300,8 @@ let create ha_node ~home_iface ?(auth_key = "secret") ?(encap = Encap.Ipip)
       next_tunnel_ident = 1;
       mcast_subs = [];
       mcast_relayed = 0;
+      up = true;
+      purged = 0;
     }
   in
   let udp = Transport.Udp_service.get ha_node in
@@ -285,3 +324,15 @@ let unsubscribe_multicast t ~group ~home =
   then Net.leave_group t.ha_node t.home_iface group
 
 let multicast_packets_relayed t = t.mcast_relayed
+
+(* Crash/restart: the binding table is soft state kept in memory — a crash
+   loses all of it, along with the proxy-ARP footprint on the home segment
+   and the notification rate-limiter.  Recovery relies entirely on mobile
+   hosts re-registering (their keepalive retry loop). *)
+let crash t =
+  t.up <- false;
+  List.iter (fun b -> remove_binding t b.Types.home) t.binding_table;
+  Hashtbl.reset t.last_notified
+
+let restart t = t.up <- true
+let is_up t = t.up

@@ -52,6 +52,38 @@ val packets_reverse_tunneled : t -> int
 val registrations_accepted : t -> int
 val registrations_denied : t -> int
 
+(** {1 Expiry}
+
+    Expiry is otherwise lazy — a binding stops matching when next
+    consulted.  The purge sweeps eagerly so a mobile host that went quiet
+    does not leave its proxy-ARP entry parked on the home segment. *)
+
+val purge_expired : t -> int
+(** Remove every expired binding (and its proxy-ARP/claim state) now;
+    returns how many were removed. *)
+
+val enable_purge : t -> ?interval:float -> ?ticks:int -> unit -> unit
+(** Run {!purge_expired} every [interval] seconds (default 30) for [ticks]
+    periods (default 20 — bounded so simulations drain).  Skipped while
+    the agent is crashed.
+    @raise Invalid_argument if [interval <= 0]. *)
+
+val bindings_purged : t -> int
+(** Total bindings removed by {!purge_expired} so far. *)
+
+(** {1 Crash and restart}
+
+    The binding table is soft state: a crash loses every binding, the
+    proxy-ARP footprint, and the notification rate-limiter, and while down
+    the agent neither answers registrations nor intercepts packets.
+    Recovery relies on mobile hosts re-registering (their keepalive retry
+    loop) — exactly the failure mode fault-injection experiments
+    exercise. *)
+
+val crash : t -> unit
+val restart : t -> unit
+val is_up : t -> bool
+
 (** {1 Multicast relay (§6.4)} *)
 
 val subscribe_multicast :

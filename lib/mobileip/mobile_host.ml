@@ -28,6 +28,12 @@ type t = {
   mutable reg_attempts : int;
   mutable tunnel_ident : int;
   mutable pending_reg : int option;  (* sequence awaiting a reply *)
+  retry_base : float;  (* first retransmission delay, seconds *)
+  retry_cap : float;  (* backoff ceiling *)
+  retry_limit : int;  (* transmissions per registration before giving up *)
+  mutable retry_lcg : int;  (* seeded jitter state *)
+  mutable advertised : Ipv4_addr.t list;
+      (* correspondents sent a binding update; invalidated on failure *)
   mutable fa_mode : bool;
       (* attached via a foreign agent: the MH keeps its home address and
          the FA delivers/forwards; the optimization machinery is off
@@ -210,6 +216,34 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
             Net.inject_local t.mh_node ~flow inner;
             true)
 
+(* Bounded exponential backoff with seeded jitter: retransmission [n]
+   waits min(cap, base * 2^n), scaled by a deterministic jitter factor in
+   [1, 1.25) so co-moving hosts do not retransmit in lockstep.  Same LCG
+   family as the link loss model, so runs replay exactly. *)
+let retry_jitter t =
+  t.retry_lcg <- ((t.retry_lcg * 1103515245) + 12345) land 0x3fffffff;
+  float_of_int t.retry_lcg /. 1073741824.0
+
+let retry_delay t n =
+  Float.min t.retry_cap (t.retry_base *. (2.0 ** float_of_int n))
+  *. (1.0 +. (0.25 *. retry_jitter t))
+
+(* Correspondents that received a binding update cached our care-of
+   address.  When a registration ultimately fails that location is no
+   longer backed by a home-agent binding, so tell them to stop using it: a
+   lifetime-zero care-of advert is the cache invalidation
+   {!Correspondent.learn_binding} understands. *)
+let invalidate_correspondents t =
+  match t.loc with
+  | At_home -> ()
+  | Away { care_of; _ } ->
+      let icmp = Transport.Icmp_service.get t.mh_node in
+      List.iter
+        (fun correspondent ->
+          Transport.Icmp_service.send_care_of_advert icmp ~src:care_of
+            ~dst:correspondent ~home:t.home ~care_of ~lifetime:0)
+        t.advertised
+
 (* Registration: "our Mobile IP support software itself communicates using
    the temporary address when registering with the home agent" (§6.4).
    When a foreign agent is in use the request instead travels to the FA
@@ -259,19 +293,26 @@ let rec register ?src ?reg_dst t ~care_of ~lifetime ?(on_result = fun _ -> ())
             if ok && lifetime > 0 then schedule_renewal t;
             on_result ok
           end);
-  (* Retransmit the request a few times; registration runs over UDP. *)
+  (* Retransmit with bounded exponential backoff; registration runs over
+     UDP and the access link may be lossy or the agent briefly down. *)
   let src = Option.value src ~default:care_of in
   let reg_dst = Option.value reg_dst ~default:t.home_agent in
   let eng = Net.node_engine t.mh_node in
   let rec attempt n =
     if t.pending_reg = Some sequence then
-      if n > 5 then begin
+      if n >= t.retry_limit then begin
+        (* Give up: we have no confirmed binding.  Stop claiming to be
+           registered and withdraw any binding updates we advertised. *)
         t.pending_reg <- None;
+        Transport.Udp_service.unlisten udp
+          ~port:Transport.Well_known.mip_registration;
+        t.is_registered <- false;
+        invalidate_correspondents t;
         on_result false
       end
       else begin
         send_registration t ~src ~reg_dst ~care_of ~lifetime ~sequence;
-        Engine.after eng 1.0 (fun () -> attempt (n + 1))
+        Engine.after eng (retry_delay t n) (fun () -> attempt (n + 1))
       end
   in
   attempt 0
@@ -287,11 +328,30 @@ and schedule_renewal t =
       Engine.after (Net.node_engine t.mh_node) delay (fun () ->
           if t.keepalive_generation = generation && t.is_registered then begin
             t.keepalive <- Some (margin, remaining - 1);
-            let src, reg_dst =
-              if t.fa_mode then (Some t.home, Some care_of) else (None, None)
-            in
-            register ?src ?reg_dst t ~care_of ~lifetime:t.lifetime ()
+            renew t ~generation ~care_of
           end)
+  | _ -> ()
+
+and renew t ~generation ~care_of =
+  let src, reg_dst =
+    if t.fa_mode then (Some t.home, Some care_of) else (None, None)
+  in
+  register ?src ?reg_dst t ~care_of ~lifetime:t.lifetime
+    ~on_result:(fun ok -> if not ok then renewal_failed t ~generation ~care_of)
+    ()
+
+(* A renewal that fails outright (home agent crashed, path black-holed)
+   must not end the keepalive chain: spend the remaining renewal budget
+   retrying after a backoff delay, so the binding comes back when the
+   agent does. *)
+and renewal_failed t ~generation ~care_of =
+  match t.keepalive with
+  | Some (margin, remaining)
+    when remaining > 0 && t.keepalive_generation = generation ->
+      t.keepalive <- Some (margin, remaining - 1);
+      Engine.after (Net.node_engine t.mh_node) (retry_delay t 0) (fun () ->
+          if t.keepalive_generation = generation then
+            renew t ~generation ~care_of)
   | _ -> ()
 
 let enable_keepalive t ?(margin = 30.0) ?(max_renewals = 10) () =
@@ -433,6 +493,8 @@ let send_binding_update t ~correspondent ?(lifetime = 300) () =
   match t.loc with
   | At_home -> false
   | Away { care_of; _ } ->
+      if not (List.exists (Ipv4_addr.equal correspondent) t.advertised) then
+        t.advertised <- correspondent :: t.advertised;
       let icmp = Transport.Icmp_service.get t.mh_node in
       Transport.Icmp_service.send_care_of_advert icmp ~src:care_of
         ~dst:correspondent ~home:t.home ~care_of ~lifetime;
@@ -462,7 +524,13 @@ let set_selector t sel =
   match sel with Some _ -> wire_tcp_feedback t | None -> ()
 
 let create mh_node ~iface ~home ~home_prefix ~home_agent
-    ?(auth_key = "secret") ?(encap = Encap.Ipip) ?(lifetime = 300) () =
+    ?(auth_key = "secret") ?(encap = Encap.Ipip) ?(lifetime = 300)
+    ?(retry_base = 1.0) ?(retry_cap = 8.0) ?(retry_limit = 6)
+    ?(retry_seed = 0x2b5d) () =
+  if retry_base <= 0.0 || retry_cap < retry_base then
+    invalid_arg "Mobile_host.create: need 0 < retry_base <= retry_cap";
+  if retry_limit < 1 then
+    invalid_arg "Mobile_host.create: retry_limit must be >= 1";
   (* Remember the at-home default route so returning home can restore it. *)
   let home_gateway =
     List.find_map
@@ -495,6 +563,11 @@ let create mh_node ~iface ~home ~home_prefix ~home_agent
       reg_attempts = 0;
       tunnel_ident = 1;
       pending_reg = None;
+      retry_base;
+      retry_cap;
+      retry_limit;
+      retry_lcg = retry_seed land 0x3fffffff;
+      advertised = [];
       fa_mode = false;
       home_gateway;
       keepalive = None;

@@ -39,11 +39,33 @@ val create :
   ?auth_key:string ->
   ?encap:Encap.mode ->
   ?lifetime:int ->
+  ?retry_base:float ->
+  ?retry_cap:float ->
+  ?retry_limit:int ->
+  ?retry_seed:int ->
   unit ->
   t
 (** Wrap a node (assumed currently attached to its home network with
     [home] as the interface address).  Defaults: key ["secret"], IP-in-IP,
-    requested registration lifetime 300 s. *)
+    requested registration lifetime 300 s.
+
+    Registration requests are retransmitted with bounded exponential
+    backoff: transmission [n] is followed, if unanswered, by a wait of
+    [min retry_cap (retry_base *. 2.**n)] scaled by a seeded jitter factor
+    in [1, 1.25) (so co-moving hosts do not retransmit in lockstep, and
+    identical seeds replay identically).  After [retry_limit]
+    transmissions the registration fails: the host marks itself
+    unregistered, reports failure to the movement callback, and withdraws
+    any binding updates it sent by advertising a zero lifetime to those
+    correspondents.  Defaults: base 1 s, cap 8 s, 6 transmissions, seed
+    [0x2b5d].
+    @raise Invalid_argument unless [0 < retry_base <= retry_cap] and
+    [retry_limit >= 1]. *)
+
+val retry_delay : t -> int -> float
+(** The backoff delay that would follow transmission [n] — draws (and
+    advances) the host's jitter stream; exposed for tests and
+    experiments. *)
 
 val node : t -> Netsim.Net.node
 val home_address : t -> Netsim.Ipv4_addr.t
@@ -124,7 +146,10 @@ val enable_keepalive : t -> ?margin:float -> ?max_renewals:int -> unit -> unit
 (** Automatically re-register [margin] seconds (default 30) before each
     binding expiry, up to [max_renewals] times (default 10 — bounded so
     simulations drain; raise it for long-running worlds).  Renewal timers
-    self-cancel when the host moves. *)
+    self-cancel when the host moves.  A renewal that fails outright (home
+    agent down) does not end the chain: the host keeps retrying on the
+    backoff schedule, spending renewal budget, until the agent answers or
+    the budget runs out. *)
 
 val disable_keepalive : t -> unit
 

@@ -17,10 +17,12 @@ type reply = {
 }
 
 (* A deterministic keyed digest (FNV-style fold mixed with the key).  Not
-   cryptographic; see the interface documentation. *)
+   cryptographic; see the interface documentation.  The mix must mask to
+   the full 32 bits the wire format carries: masking to 0x7fffffff here
+   would pin the top bit to zero and halve the digest keyspace. *)
 let authenticator ~key body =
   let h = ref 0x811c9dc5 in
-  let mix byte = h := (!h lxor byte) * 0x01000193 land 0x7fffffff in
+  let mix byte = h := (!h lxor byte) * 0x01000193 land 0xffffffff in
   String.iter (fun c -> mix (Char.code c)) key;
   Bytes.iter (fun c -> mix (Char.code c)) body;
   String.iter (fun c -> mix (Char.code c)) key;

@@ -1,0 +1,153 @@
+(* A deterministic, scriptable fault plan attached to a Net.t.
+
+   All state changes are engine events scheduled at absolute sim-times, and
+   the only randomness (duplication and reordering rolls, jitter) comes
+   from a seeded LCG — the same generator family as the per-link loss
+   model — so a run under a fault plan replays identically. *)
+
+type stats = {
+  flap_drops : int;
+  partition_drops : int;
+  duplicated : int;
+  delayed : int;
+}
+
+type t = {
+  net : Net.t;
+  plan_seed : int;
+  mutable lcg : int;
+  mutable down_links : string list;
+  mutable partitions : (string list * string list) list;
+  mutable spikes : (string * float) list;  (* link name, extra seconds *)
+  mutable dup_rate : float;
+  mutable reorder : (float * float) option;  (* rate, max extra seconds *)
+  mutable flap_drops : int;
+  mutable partition_drops : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+}
+
+let seed t = t.plan_seed
+
+let stats t =
+  {
+    flap_drops = t.flap_drops;
+    partition_drops = t.partition_drops;
+    duplicated = t.duplicated;
+    delayed = t.delayed;
+  }
+
+(* Same constants as the link loss model so both stay replayable. *)
+let roll t =
+  t.lcg <- ((t.lcg * 1103515245) + 12345) land 0x3fffffff;
+  float_of_int t.lcg /. 1073741824.0
+
+let crosses_partition t ~src ~dst =
+  List.exists
+    (fun (a, b) ->
+      (List.mem src a && List.mem dst b) || (List.mem src b && List.mem dst a))
+    t.partitions
+
+let verdict t ~link ~src ~dst =
+  if List.mem link t.down_links then begin
+    t.flap_drops <- t.flap_drops + 1;
+    Net.Fault_drop Trace.Link_flap
+  end
+  else if crosses_partition t ~src ~dst then begin
+    t.partition_drops <- t.partition_drops + 1;
+    Net.Fault_drop Trace.Partitioned
+  end
+  else begin
+    let spike =
+      List.fold_left
+        (fun acc (l, extra) -> if l = link then acc +. extra else acc)
+        0.0 t.spikes
+    in
+    let jitter =
+      match t.reorder with
+      | Some (rate, max_extra) when roll t < rate ->
+          t.delayed <- t.delayed + 1;
+          roll t *. max_extra
+      | Some _ | None -> 0.0
+    in
+    let duplicate = t.dup_rate > 0.0 && roll t < t.dup_rate in
+    if duplicate then t.duplicated <- t.duplicated + 1;
+    let extra_delay = spike +. jitter in
+    if extra_delay > 0.0 || duplicate then
+      Net.Fault_deliver { extra_delay; duplicate }
+    else Net.Fault_pass
+  end
+
+let attach ?(seed = 0xfa17) net =
+  let t =
+    {
+      net;
+      plan_seed = seed;
+      lcg = seed land 0x3fffffff;
+      down_links = [];
+      partitions = [];
+      spikes = [];
+      dup_rate = 0.0;
+      reorder = None;
+      flap_drops = 0;
+      partition_drops = 0;
+      duplicated = 0;
+      delayed = 0;
+    }
+  in
+  Net.set_fault_hook net
+    (Some (fun ~link ~src ~dst -> verdict t ~link ~src ~dst));
+  t
+
+let detach t = Net.set_fault_hook t.net None
+
+(* Scheduled plan actions.  A time at or before "now" applies immediately,
+   so plans can be scripted against worlds that have already run a while. *)
+let at t ~time f =
+  let eng = Net.engine t.net in
+  if time <= Engine.now eng then f () else Engine.schedule eng ~at:time f
+
+let link_down t ~at:time ~link =
+  at t ~time (fun () ->
+      if not (List.mem link t.down_links) then
+        t.down_links <- link :: t.down_links)
+
+let link_up t ~at:time ~link =
+  at t ~time (fun () ->
+      t.down_links <- List.filter (fun l -> l <> link) t.down_links)
+
+let flap t ~link ~down ~up =
+  if up <= down then invalid_arg "Fault.flap: up must be after down";
+  link_down t ~at:down ~link;
+  link_up t ~at:up ~link
+
+let partition t ~from_ ~until ~a ~b =
+  if until <= from_ then invalid_arg "Fault.partition: empty window";
+  let sides = (a, b) in
+  at t ~time:from_ (fun () -> t.partitions <- sides :: t.partitions);
+  at t ~time:until (fun () ->
+      t.partitions <- List.filter (fun p -> p != sides) t.partitions)
+
+let latency_spike t ~link ~from_ ~until ~extra =
+  if until <= from_ then invalid_arg "Fault.latency_spike: empty window";
+  if extra < 0.0 then invalid_arg "Fault.latency_spike: negative extra";
+  let entry = (link, extra) in
+  at t ~time:from_ (fun () -> t.spikes <- entry :: t.spikes);
+  at t ~time:until (fun () ->
+      t.spikes <- List.filter (fun s -> s != entry) t.spikes)
+
+let duplicate_window t ~from_ ~until ~rate =
+  if until <= from_ then invalid_arg "Fault.duplicate_window: empty window";
+  if rate < 0.0 || rate >= 1.0 then
+    invalid_arg "Fault.duplicate_window: rate must be in [0,1)";
+  at t ~time:from_ (fun () -> t.dup_rate <- rate);
+  at t ~time:until (fun () -> t.dup_rate <- 0.0)
+
+let reorder_window t ~from_ ~until ~rate ~max_extra =
+  if until <= from_ then invalid_arg "Fault.reorder_window: empty window";
+  if rate < 0.0 || rate >= 1.0 then
+    invalid_arg "Fault.reorder_window: rate must be in [0,1)";
+  if max_extra <= 0.0 then
+    invalid_arg "Fault.reorder_window: max_extra must be positive";
+  at t ~time:from_ (fun () -> t.reorder <- Some (rate, max_extra));
+  at t ~time:until (fun () -> t.reorder <- None)

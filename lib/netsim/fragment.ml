@@ -26,6 +26,10 @@ let fragment ~mtu pkt =
       let total = Bytes.length body in
       let base_offset = pkt.Ipv4_packet.frag_offset in
       let last_has_more = pkt.Ipv4_packet.more_fragments in
+      (* Only copy-bit options are replicated past the first fragment
+         (RFC 791); the receiver's reassembly restores the full set from
+         the offset-0 fragment's header. *)
+      let tail_options = Ipv4_options.copied_options pkt.Ipv4_packet.options in
       let rec slices off acc =
         if off >= total then List.rev acc
         else begin
@@ -37,6 +41,8 @@ let fragment ~mtu pkt =
               Ipv4_packet.payload = Ipv4_packet.Raw (Bytes.sub body off len);
               more_fragments = (if is_last then last_has_more else true);
               frag_offset = base_offset + (off / 8);
+              options =
+                (if off = 0 then pkt.Ipv4_packet.options else tail_options);
             }
           in
           slices (off + len) (frag :: acc)

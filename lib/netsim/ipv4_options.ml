@@ -83,3 +83,32 @@ let advance_lsr buf ~here =
 
 let has_options buf =
   Bytes.exists (fun c -> Char.code c <> nop && Char.code c <> 0) buf
+
+(* RFC 791 copy bit: top bit of the option type byte.  Options with it set
+   (LSR among them) must be replicated into every fragment; the rest
+   travel only in the first fragment. *)
+let copied_flag = 0x80
+
+let copied_options buf =
+  let n = Bytes.length buf in
+  let out = Buffer.create n in
+  let rec scan off =
+    if off < n then
+      let ty = Char.code (Bytes.get buf off) in
+      if ty = nop then scan (off + 1)
+      else if ty = 0 then ()
+      else if off + 1 >= n then ()
+      else
+        let len = Char.code (Bytes.get buf (off + 1)) in
+        if len < 2 || off + len > n then ()
+        else begin
+          if ty land copied_flag <> 0 then
+            Buffer.add_subbytes out buf off len;
+          scan (off + len)
+        end
+  in
+  scan 0;
+  let kept = Buffer.length out in
+  let padded = (kept + 3) / 4 * 4 in
+  Buffer.add_string out (String.make (padded - kept) (Char.chr nop));
+  Buffer.to_bytes out

@@ -42,3 +42,9 @@ val advance_lsr : Bytes.t -> here:Ipv4_addr.t -> Bytes.t option
 
 val has_options : Bytes.t -> bool
 (** True when the buffer contains at least one non-NOP option byte. *)
+
+val copied_options : Bytes.t -> Bytes.t
+(** The subset of the options that must be replicated into non-first
+    fragments: those whose type byte has the RFC 791 copy bit (0x80) set —
+    LSR qualifies, NOPs and non-copied options do not.  The result is
+    NOP-padded to a multiple of four (possibly empty). *)

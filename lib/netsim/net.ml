@@ -1,9 +1,16 @@
+type fault_verdict =
+  | Fault_pass
+  | Fault_drop of Trace.drop_reason
+  | Fault_deliver of { extra_delay : float; duplicate : bool }
+
 type t = {
   engine : Engine.t;
   trace : Trace.t;
   mutable all_nodes : node list;
   mutable next_frame : int;
   mutable next_flow : int;
+  mutable fault_hook :
+    (link:string -> src:string -> dst:string -> fault_verdict) option;
 }
 
 and node = {
@@ -95,7 +102,10 @@ let create () =
     all_nodes = [];
     next_frame = 0;
     next_flow = 0;
+    fault_hook = None;
   }
+
+let set_fault_hook t f = t.fault_hook <- f
 
 let engine t = t.engine
 let trace t = t.trace
@@ -413,9 +423,7 @@ and emit out frame =
         in
         let peers = List.filter (fun e -> e != out) l.ends in
         List.iter
-          (fun peer ->
-            Engine.after node.net.engine delay (fun () ->
-                deliver_frame_to peer frame))
+          (fun peer -> fault_deliver node ~link:l.ptp_name ~delay peer frame)
           peers
       end
   | Seg s ->
@@ -431,23 +439,36 @@ and emit out frame =
             List.filter (fun m -> Mac_addr.equal m.mac frame.l2_dst) s.members
         in
         List.iter
-          (fun target ->
-            Engine.after node.net.engine delay (fun () ->
-                deliver_frame_to target frame))
+          (fun target -> fault_deliver node ~link:s.seg_name ~delay target frame)
           targets
       end
 
-and record_link_loss node frame =
+(* Per-target delivery, filtered through the network's fault plan (if any).
+   The hook sees the link name and both node names; it can drop the copy
+   (with a trace reason), delay it, or duplicate it. *)
+and fault_deliver node ~link ~delay target frame =
+  let schedule d =
+    Engine.after node.net.engine d (fun () -> deliver_frame_to target frame)
+  in
+  match node.net.fault_hook with
+  | None -> schedule delay
+  | Some hook -> (
+      match hook ~link ~src:node.name ~dst:target.owner.name with
+      | Fault_pass -> schedule delay
+      | Fault_drop reason -> record_fault_drop node reason frame
+      | Fault_deliver { extra_delay; duplicate } ->
+          schedule (delay +. extra_delay);
+          if duplicate then schedule (delay +. extra_delay))
+
+and record_fault_drop node reason frame =
   match frame.content with
   | Ip pkt ->
       record node
         (Trace.Drop
-           {
-             node = node.name;
-             reason = Trace.Link_loss;
-             frame = frame_info frame pkt;
-           })
+           { node = node.name; reason; frame = frame_info frame pkt })
   | Arp_msg _ -> ()
+
+and record_link_loss node frame = record_fault_drop node Trace.Link_loss frame
 
 and send_arp out ~l2_dst arp =
   let node = out.owner in

@@ -223,3 +223,27 @@ val send :
 val same_segment : node -> node -> bool
 (** True when the two nodes have interfaces attached to a common segment —
     the applicability test for the paper's Row C. *)
+
+(** {1 Fault injection}
+
+    The data plane consults an optional per-network hook for every frame
+    copy about to be put on a link, after the link's own loss model.  The
+    hook is how {!Fault} implements scripted link flaps, partitions,
+    latency spikes, duplication and reordering without the data plane
+    knowing about schedules or seeds. *)
+
+type fault_verdict =
+  | Fault_pass  (** deliver normally *)
+  | Fault_drop of Trace.drop_reason
+      (** drop this copy, recording the reason (IP frames only; ARP frames
+          are dropped silently, like link loss) *)
+  | Fault_deliver of { extra_delay : float; duplicate : bool }
+      (** deliver after [extra_delay] additional seconds; when [duplicate],
+          deliver a second copy at the same instant *)
+
+val set_fault_hook :
+  t -> (link:string -> src:string -> dst:string -> fault_verdict) option -> unit
+(** Install (or clear) the fault hook.  [link] is the segment or
+    point-to-point link name; [src]/[dst] are the transmitting and
+    receiving node names.  Called once per receiving interface (a broadcast
+    on a segment consults the hook for each member). *)

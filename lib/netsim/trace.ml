@@ -9,6 +9,8 @@ type drop_reason =
   | Not_for_me
   | Link_down
   | Link_loss
+  | Link_flap
+  | Partitioned
   | Reassembly_timeout
   | Custom of string
 
@@ -23,6 +25,8 @@ let pp_drop_reason fmt = function
   | Not_for_me -> Format.pp_print_string fmt "not-for-me"
   | Link_down -> Format.pp_print_string fmt "link-down"
   | Link_loss -> Format.pp_print_string fmt "link-loss"
+  | Link_flap -> Format.pp_print_string fmt "link-flap"
+  | Partitioned -> Format.pp_print_string fmt "partitioned"
   | Reassembly_timeout -> Format.pp_print_string fmt "reassembly-timeout"
   | Custom s -> Format.fprintf fmt "custom(%s)" s
 

@@ -23,6 +23,8 @@ type drop_reason =
   | Not_for_me  (** unicast packet reaching a host that does not own it *)
   | Link_down
   | Link_loss  (** random loss on a lossy link (seeded, deterministic) *)
+  | Link_flap  (** link scripted down by a {!Fault} plan *)
+  | Partitioned  (** sender and receiver on opposite sides of a scripted partition *)
   | Reassembly_timeout
   | Custom of string
 

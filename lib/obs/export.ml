@@ -58,6 +58,8 @@ let drop_reason_fields = function
   | Trace.Not_for_me -> [ ("reason", Json.String "not-for-me") ]
   | Trace.Link_down -> [ ("reason", Json.String "link-down") ]
   | Trace.Link_loss -> [ ("reason", Json.String "link-loss") ]
+  | Trace.Link_flap -> [ ("reason", Json.String "link-flap") ]
+  | Trace.Partitioned -> [ ("reason", Json.String "partitioned") ]
   | Trace.Reassembly_timeout -> [ ("reason", Json.String "reassembly-timeout") ]
   | Trace.Custom s ->
       [ ("reason", Json.String "custom"); ("detail", Json.String s) ]
@@ -78,6 +80,8 @@ let drop_reason_of_json j =
   | "not-for-me" -> Ok Trace.Not_for_me
   | "link-down" -> Ok Trace.Link_down
   | "link-loss" -> Ok Trace.Link_loss
+  | "link-flap" -> Ok Trace.Link_flap
+  | "partitioned" -> Ok Trace.Partitioned
   | "reassembly-timeout" -> Ok Trace.Reassembly_timeout
   | "custom" ->
       let* s = detail () in

@@ -49,7 +49,7 @@ let build ?(backbone_hops = 4) ?(ch_position = Remote)
     ?(ch_capability = Mobileip.Correspondent.Conventional)
     ?(notify_correspondents = false) ?(with_dns = false)
     ?(encap = Mobileip.Encap.Ipip) ?(link_latency = 0.010)
-    ?(with_cellular = false) () =
+    ?(with_cellular = false) ?(mh_lifetime = 300) () =
   if backbone_hops < 2 then invalid_arg "Topo.build: need >= 2 backbone hops";
   let net = Net.create () in
   let home_prefix = prefix "36.1.0.0/16" in
@@ -246,7 +246,8 @@ let build ?(backbone_hops = 4) ?(ch_position = Remote)
     ~iface:"eth0";
   let mh =
     Mobileip.Mobile_host.create mh_node ~iface:mh_iface ~home:mh_home_addr
-      ~home_prefix ~home_agent:(Mobileip.Home_agent.address ha) ~encap ()
+      ~home_prefix ~home_agent:(Mobileip.Home_agent.address ha) ~encap
+      ~lifetime:mh_lifetime ()
   in
 
   (* Optional cellular attachment near the visited domain (§1): a slow,

@@ -83,12 +83,15 @@ val build :
   ?encap:Mobileip.Encap.mode ->
   ?link_latency:float ->
   ?with_cellular:bool ->
+  ?mh_lifetime:int ->
   unit ->
   t
 (** Build the world.  Defaults: 4 backbone hops, [Remote] correspondent,
     no filtering, conventional correspondent, no ICMP notifications, no
-    DNS server, IP-in-IP, 10 ms backbone links.  The mobile host starts at
-    home and is not yet registered anywhere.
+    DNS server, IP-in-IP, 10 ms backbone links, registration lifetime
+    300 s ([?mh_lifetime] — churn experiments shorten it so expiry and
+    renewal happen within the run).  The mobile host starts at home and is
+    not yet registered anywhere.
 
     [?with_cellular] adds a second way onto the Internet near the visited
     domain: a cellular-telephone-style attachment (paper §1's "cellular

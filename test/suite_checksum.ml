@@ -28,6 +28,29 @@ let test_odd_length_padding () =
   Alcotest.(check int) "odd = even-with-zero-pad" (Checksum.compute even)
     (Checksum.compute odd)
 
+let test_known_vectors () =
+  (* The classic IPv4-header example (checksum field zeroed): the computed
+     checksum must be 0xb861. *)
+  let ipv4_header =
+    bytes_of_ints
+      [ 0x45; 0x00; 0x00; 0x73; 0x00; 0x00; 0x40; 0x00; 0x40; 0x11; 0x00;
+        0x00; 0xc0; 0xa8; 0x00; 0x01; 0xc0; 0xa8; 0x00; 0xc7 ]
+  in
+  Alcotest.(check int) "ipv4 header vector" 0xb861
+    (Checksum.compute ipv4_header);
+  (* Odd-length vectors: the dangling byte is the high half of a
+     zero-padded word (RFC 1071's byte-order rule). *)
+  Alcotest.(check int) "single byte 0x01 sum" 0x0100
+    (Checksum.ones_complement_sum (bytes_of_ints [ 0x01 ]) 0 1);
+  Alcotest.(check int) "single byte 0x01 checksum" 0xfeff
+    (Checksum.compute (bytes_of_ints [ 0x01 ]));
+  Alcotest.(check int) "five 0xff bytes" 0x00ff
+    (Checksum.compute (bytes_of_ints [ 0xff; 0xff; 0xff; 0xff; 0xff ]));
+  Alcotest.(check int) "odd-length icmp-style body" 0x84ca
+    (Checksum.compute
+       (bytes_of_ints
+          [ 0x08; 0x00; 0x00; 0x00; 0x12; 0x34; 0x00; 0x01; 0x61 ]))
+
 let test_verification () =
   let data = bytes_of_ints [ 0xde; 0xad; 0xbe; 0xef; 0x01; 0x02 ] in
   let csum = Checksum.compute data in
@@ -95,6 +118,8 @@ let suites =
         Alcotest.test_case "rfc 1071 worked example" `Quick test_rfc1071_example;
         Alcotest.test_case "empty buffer" `Quick test_empty_buffer;
         Alcotest.test_case "odd length padding" `Quick test_odd_length_padding;
+        Alcotest.test_case "known vectors incl. odd-length" `Quick
+          test_known_vectors;
         Alcotest.test_case "verification + corruption" `Quick test_verification;
         Alcotest.test_case "range checked" `Quick test_range_checked;
         Alcotest.test_case "initial accumulation" `Quick

@@ -62,6 +62,46 @@ let prop_pqueue_sorts =
       let drained = drain [] in
       drained = List.sort compare priorities)
 
+(* The full contract, including FIFO ties and reuse after [clear]: popping
+   yields elements in (priority, insertion sequence) order.  The model is
+   a stable sort of the insertions by priority. *)
+let prop_pqueue_priority_seq_order =
+  QCheck.Test.make ~name:"pqueue pops in (priority, seq) order, incl. clear"
+    ~count:300
+    QCheck.(
+      pair
+        (list (int_bound 7))  (* coarse priorities force plenty of ties *)
+        (list (int_bound 7)))
+    (fun (first_batch, second_batch) ->
+      let q = Pqueue.create () in
+      let run batch =
+        List.iteri
+          (fun i p -> Pqueue.add q ~priority:(float_of_int p) (p, i))
+          batch;
+        let rec drain acc =
+          match Pqueue.pop q with
+          | Some (_, v) -> drain (v :: acc)
+          | None -> List.rev acc
+        in
+        let drained = drain [] in
+        let model =
+          List.stable_sort
+            (fun (p1, _) (p2, _) -> compare p1 p2)
+            (List.mapi (fun i p -> (p, i)) batch)
+        in
+        drained = model
+      in
+      let ok1 = run first_batch in
+      (* Interrupt mid-stream, clear, and make sure the emptied queue
+         behaves like a fresh one. *)
+      List.iteri (fun i p -> Pqueue.add q ~priority:(float_of_int p) (p, i))
+        first_batch;
+      ignore (Pqueue.pop q);
+      Pqueue.clear q;
+      let ok_cleared = Pqueue.is_empty q && Pqueue.pop q = None in
+      let ok2 = run second_batch in
+      ok1 && ok_cleared && ok2)
+
 let test_engine_runs_in_order () =
   let e = Engine.create () in
   let log = ref [] in
@@ -136,6 +176,7 @@ let suites =
         Alcotest.test_case "pqueue fifo ties" `Quick test_pqueue_fifo_ties;
         Alcotest.test_case "pqueue peek" `Quick test_pqueue_peek_stable;
         QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+        QCheck_alcotest.to_alcotest prop_pqueue_priority_seq_order;
         Alcotest.test_case "engine runs in order" `Quick
           test_engine_runs_in_order;
         Alcotest.test_case "engine rejects past" `Quick test_engine_rejects_past;

@@ -51,6 +51,52 @@ let test_one_byte_over () =
         f2.Ipv4_packet.frag_offset
   | _ -> assert false
 
+let test_source_routed_fragmentation () =
+  (* RFC 791: only options with the copy bit travel in every fragment.
+     Build a packet carrying both an LSR option (type 131 — copy bit set)
+     and a record-route-style option (type 7 — no copy bit). *)
+  let lsr_opt = Ipv4_options.build_lsr ~via:[ a "9.9.9.9" ] in
+  let rr = Bytes.of_string "\x07\x04\x00\x00" in
+  let options = Bytes.cat lsr_opt rr in
+  let pkt = { (raw_pkt 64) with Ipv4_packet.options } in
+  let frags = fragment_exn ~mtu:40 pkt in
+  Alcotest.(check bool) "actually fragmented" true (List.length frags > 1);
+  let expected_tail = Ipv4_options.copied_options options in
+  List.iteri
+    (fun i f ->
+      if i = 0 then
+        Alcotest.(check bytes) "first fragment keeps all options" options
+          f.Ipv4_packet.options
+      else begin
+        Alcotest.(check bytes)
+          (Printf.sprintf "fragment %d carries only copied options" i)
+          expected_tail f.Ipv4_packet.options;
+        (* The route must still be readable on every fragment — that is
+           the point of the copy bit. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "fragment %d LSR parseable" i)
+          true
+          (Ipv4_options.parse_lsr f.Ipv4_packet.options <> None)
+      end)
+    frags;
+  (* Reassembly restores the full option set from the first fragment. *)
+  let r = Fragment.Reassembly.create () in
+  let whole =
+    List.fold_left
+      (fun acc f ->
+        match Fragment.Reassembly.add r ~now:0.0 f with
+        | Some w -> Some w
+        | None -> acc)
+      None frags
+  in
+  match whole with
+  | None -> Alcotest.fail "did not reassemble"
+  | Some w ->
+      Alcotest.(check bytes) "reassembled options" options
+        w.Ipv4_packet.options;
+      Alcotest.(check bool) "reassembled payload" true
+        (w.Ipv4_packet.payload = pkt.Ipv4_packet.payload)
+
 let test_df_refused () =
   let pkt = { (raw_pkt 2000) with Ipv4_packet.dont_fragment = true } in
   match Fragment.fragment ~mtu:1500 pkt with
@@ -188,6 +234,8 @@ let suites =
           test_exact_mtu_not_fragmented;
         Alcotest.test_case "one byte over" `Quick test_one_byte_over;
         Alcotest.test_case "DF refused" `Quick test_df_refused;
+        Alcotest.test_case "source-routed fragmentation (copy bit)" `Quick
+          test_source_routed_fragmentation;
         Alcotest.test_case "tiny mtu refused" `Quick test_tiny_mtu_refused;
         Alcotest.test_case "reassemble in order" `Quick test_reassemble_in_order;
         Alcotest.test_case "reassemble reversed" `Quick test_reassemble_reversed;

@@ -34,6 +34,40 @@ let test_request_tamper_detected () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "tampering not detected"
 
+(* Known digests, computed independently of the implementation (FNV-1a
+   32-bit fold of key..body..key).  These pin the wire format: any change
+   to the mixing, masking or key placement breaks them. *)
+let test_authenticator_known_vectors () =
+  let auth key body =
+    Mobileip.Registration.authenticator ~key (Bytes.of_string body)
+  in
+  Alcotest.(check int) "empty body, key=secret" 0xaf88c2d5 (auth "secret" "");
+  Alcotest.(check int) "abc, key=secret" 0xa7d8fa87 (auth "secret" "abc");
+  Alcotest.(check int) "mobile-ip, key=k1" 0x222985f3 (auth "k1" "mobile-ip");
+  (* Regression for the 31-bit mask bug: this digest has bit 31 set, which
+     the old [land 0x7fffffff] mixing mask pinned to zero (halving the
+     digest keyspace the 32-bit wire field is supposed to carry). *)
+  let top = auth "secret" "\x00" in
+  Alcotest.(check int) "top-bit digest value" 0xf5315863 top;
+  Alcotest.(check bool) "bit 31 reachable" true (top land 0x80000000 <> 0)
+
+let test_top_bit_digest_survives_wire () =
+  (* The standard test request with sequence 0 digests (key "k1") to
+     0xf7f73aa2 — top bit set.  It must round-trip through the 32-bit
+     wire field and still verify. *)
+  let req0 = { req with Mobileip.Registration.sequence = 0 } in
+  let wire = Mobileip.Registration.encode_request ~key:"k1" req0 in
+  let auth_on_wire =
+    (Char.code (Bytes.get wire 17) lsl 24)
+    lor (Char.code (Bytes.get wire 18) lsl 16)
+    lor (Char.code (Bytes.get wire 19) lsl 8)
+    lor Char.code (Bytes.get wire 20)
+  in
+  Alcotest.(check int) "wire digest" 0xf7f73aa2 auth_on_wire;
+  match Mobileip.Registration.decode_request ~key:"k1" wire with
+  | Ok r -> Alcotest.(check bool) "roundtrips" true (r = req0)
+  | Error e -> Alcotest.fail e
+
 let test_reply_roundtrip () =
   let reply =
     {
@@ -220,6 +254,10 @@ let suites =
         Alcotest.test_case "wrong key rejected" `Quick test_request_wrong_key;
         Alcotest.test_case "tampering detected" `Quick
           test_request_tamper_detected;
+        Alcotest.test_case "authenticator known vectors" `Quick
+          test_authenticator_known_vectors;
+        Alcotest.test_case "top-bit digest survives the wire" `Quick
+          test_top_bit_digest_survives_wire;
         Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
         Alcotest.test_case "peek functions" `Quick test_peek_functions;
         Alcotest.test_case "request/reply distinguished" `Quick
