@@ -8,6 +8,9 @@
      stats                   run a reference workload and print a Netobs
                              metrics snapshot (engine gauges, per-cell
                              flow-latency histograms)
+     soak                    sweep seeded random fault plans under the
+                             invariant oracle; shrink violations to
+                             minimal JSON repros
      list                    list experiments and scenarios
 
    [scenario] and [experiments] accept [--trace-json FILE] to dump the
@@ -463,6 +466,299 @@ let stats_cmd =
              gauges, per-cell flow-latency histograms)")
     Term.(const run $ json)
 
+(* ---- soak ---- *)
+
+let soak_cmd =
+  let seeds =
+    Arg.(
+      value & opt string "0..4"
+      & info [ "seeds" ] ~docv:"A..B"
+          ~doc:"Inclusive seed range to sweep (e.g. 0..19)")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (enum [ ("gentle", `Gentle); ("harsh", `Harsh) ]) `Gentle
+      & info [ "profile" ]
+          ~doc:
+            "Base fault profile: $(b,gentle) (CI smoke; a healthy tree stays \
+             clean) or $(b,harsh) (E17: outages that exhaust the renewal \
+             budget)")
+  in
+  let budget =
+    Arg.(
+      value & opt (some string) None
+      & info [ "budget" ] ~docv:"K=V,..."
+          ~doc:
+            "Override profile fields: events, horizon, max-window, outages \
+             (colon-separated seconds), renewals, retries, lifetime \
+             (e.g. events=8,outages=12:16,renewals=3)")
+  in
+  let cells =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cells" ] ~docv:"CELLS"
+          ~doc:
+            "Comma-separated grid cells (default In-IE/Out-IE,\
+             In-DE/Out-DE,In-DH/Out-DH)")
+  in
+  let fault_json =
+    Arg.(
+      value & opt (some file) None
+      & info [ "fault-json" ] ~docv:"FILE"
+          ~doc:
+            "Replay one fault plan (a repro written by a previous soak, or \
+             any plan JSON) instead of sweeping")
+  in
+  let repro_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:"Where shrunken repro JSON files are written")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report violations without delta-debugging")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as JSON instead of text")
+  in
+  let parse_seeds s =
+    match String.index_opt s '.' with
+    | Some i
+      when i + 1 < String.length s
+           && s.[i + 1] = '.'
+           && i > 0
+           && i + 2 < String.length s -> (
+        let lo = String.sub s 0 i in
+        let hi = String.sub s (i + 2) (String.length s - i - 2) in
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some lo, Some hi when lo <= hi -> Ok (lo, hi)
+        | _ -> Error (Printf.sprintf "--seeds: bad range %S" s))
+    | _ -> Error (Printf.sprintf "--seeds: expected A..B, got %S" s)
+  in
+  let parse_budget base s =
+    let apply p kv =
+      match String.index_opt kv '=' with
+      | None -> Error (Printf.sprintf "--budget: expected K=V, got %S" kv)
+      | Some i -> (
+          let k = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          let int_field f = Option.map f (int_of_string_opt v) in
+          let float_field f = Option.map f (float_of_string_opt v) in
+          let r =
+            match k with
+            | "events" -> int_field (fun n -> { p with Experiments.Soak.events = n })
+            | "horizon" -> float_field (fun x -> { p with Experiments.Soak.horizon = x })
+            | "max-window" ->
+                float_field (fun x -> { p with Experiments.Soak.max_window = x })
+            | "outages" ->
+                let parts = String.split_on_char ':' v in
+                let ds = List.filter_map float_of_string_opt parts in
+                if List.length ds = List.length parts && ds <> [] then
+                  Some { p with Experiments.Soak.outages = ds }
+                else None
+            | "renewals" ->
+                int_field (fun n -> { p with Experiments.Soak.max_renewals = n })
+            | "retries" ->
+                int_field (fun n -> { p with Experiments.Soak.retry_limit = n })
+            | "lifetime" ->
+                int_field (fun n -> { p with Experiments.Soak.mh_lifetime = n })
+            | _ -> None
+          in
+          match r with
+          | Some p -> Ok p
+          | None -> Error (Printf.sprintf "--budget: bad field %S" kv))
+    in
+    List.fold_left
+      (fun acc kv -> Result.bind acc (fun p -> apply p kv))
+      (Ok base)
+      (String.split_on_char ',' s)
+  in
+  let parse_cells s =
+    let names = String.split_on_char ',' s in
+    let cells = List.filter_map Experiments.Soak.cell_of_string names in
+    if List.length cells = List.length names && cells <> [] then Ok cells
+    else Error (Printf.sprintf "--cells: bad cell list %S" s)
+  in
+  let cell_name c = Mobileip.Grid.cell_to_string c in
+  let repro_path dir seed cell =
+    Filename.concat dir
+      (Printf.sprintf "repro-s%d-%s.json" seed
+         (String.map (fun c -> if c = '/' then '_' else c) (cell_name cell)))
+  in
+  let finding_json path (f : Experiments.Soak.finding) =
+    Netsim.Json.Obj
+      [
+        ("seed", Netsim.Json.Int f.Experiments.Soak.f_seed);
+        ("cell", Netsim.Json.String (cell_name f.Experiments.Soak.f_cell));
+        ( "invariants",
+          Netsim.Json.List
+            (List.map
+               (fun n -> Netsim.Json.String n)
+               (Experiments.Soak.violated_names f.Experiments.Soak.f_outcome))
+        );
+        ( "events",
+          Netsim.Json.Int
+            (List.length f.Experiments.Soak.f_plan.Netsim.Fault.events) );
+        ( "shrunk_events",
+          Netsim.Json.Int
+            (List.length f.Experiments.Soak.f_shrunk.Netsim.Fault.events) );
+        ("replays", Netsim.Json.Int f.Experiments.Soak.f_replays);
+        ("repro", Netsim.Json.String path);
+      ]
+  in
+  let run seeds profile budget cells fault_json repro_dir no_shrink json =
+    let profile =
+      match profile with
+      | `Gentle -> Experiments.Soak.gentle
+      | `Harsh -> Experiments.Soak.harsh
+    in
+    let ( let* ) = Result.bind in
+    let result =
+      let* profile =
+        match budget with
+        | None -> Ok profile
+        | Some s -> parse_budget profile s
+      in
+      match fault_json with
+      | Some file ->
+          (* Replay mode: one plan, no sweep, no shrink. *)
+          let text =
+            let ic = open_in file in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          in
+          let* plan, seed, cell = Experiments.Soak.repro_of_string text in
+          let seed = Option.value seed ~default:0 in
+          let cell =
+            Option.value cell
+              ~default:(List.hd Experiments.Soak.default_cells)
+          in
+          let outcome = Experiments.Soak.replay ~profile ~cell ~seed plan in
+          Format.printf "replay %s: seed %d, cell %s, %d events@." file seed
+            (cell_name cell)
+            (List.length plan.Netsim.Fault.events);
+          List.iter
+            (fun v -> Format.printf "  VIOLATION %a@." Netsim.Invariant.pp_violation v)
+            outcome.Experiments.Soak.violations;
+          if outcome.Experiments.Soak.violations = [] then
+            Format.printf "  no violations@.";
+          Ok (outcome.Experiments.Soak.violations <> [])
+      | None ->
+          let* lo, hi = parse_seeds seeds in
+          let* cells =
+            match cells with
+            | None -> Ok Experiments.Soak.default_cells
+            | Some s -> parse_cells s
+          in
+          let report =
+            Experiments.Soak.run ~profile ~seed_lo:lo ~seed_hi:hi ~cells
+              ~shrink:(not no_shrink) ()
+          in
+          if report.Experiments.Soak.findings <> [] then begin
+            if not (Sys.file_exists repro_dir) then Sys.mkdir repro_dir 0o755
+          end;
+          let paths =
+            List.map
+              (fun (f : Experiments.Soak.finding) ->
+                let path =
+                  repro_path repro_dir f.Experiments.Soak.f_seed
+                    f.Experiments.Soak.f_cell
+                in
+                let oc = open_out path in
+                output_string oc
+                  (Experiments.Soak.repro_to_string
+                     ~seed:f.Experiments.Soak.f_seed
+                     ~cell:f.Experiments.Soak.f_cell
+                     f.Experiments.Soak.f_shrunk);
+                output_char oc '\n';
+                close_out oc;
+                path)
+              report.Experiments.Soak.findings
+          in
+          (* The run's metrics, tcp_retx_aborted_total among them. *)
+          let reg = Netobs.Metrics.create () in
+          let count name help v =
+            Netobs.Metrics.incr ~by:v (Netobs.Metrics.counter reg ~help name)
+          in
+          count "soak_runs_total" "seed x cell runs executed"
+            report.Experiments.Soak.runs;
+          count "soak_checks_total" "invariant checks evaluated"
+            report.Experiments.Soak.total_checks;
+          count "soak_violations_total" "runs that violated an invariant"
+            (List.length report.Experiments.Soak.findings);
+          count "tcp_retx_aborted_total"
+            "connections that exhausted their retransmission limit"
+            report.Experiments.Soak.total_retx_aborts;
+          if json then
+            print_endline
+              (Netsim.Json.to_string
+                 (Netsim.Json.Obj
+                    [
+                      ( "seeds",
+                        Netsim.Json.List
+                          [ Netsim.Json.Int lo; Netsim.Json.Int hi ] );
+                      ( "cells",
+                        Netsim.Json.List
+                          (List.map
+                             (fun c -> Netsim.Json.String (cell_name c))
+                             cells) );
+                      ("runs", Netsim.Json.Int report.Experiments.Soak.runs);
+                      ( "findings",
+                        Netsim.Json.List
+                          (List.map2 finding_json paths
+                             report.Experiments.Soak.findings) );
+                      ( "metrics",
+                        Netobs.Metrics.snapshot_to_json
+                          (Netobs.Metrics.snapshot reg) );
+                    ]))
+          else begin
+            Format.printf
+              "soak: seeds %d..%d, %d runs, %d invariant checks, %d \
+               violation(s)@."
+              lo hi report.Experiments.Soak.runs
+              report.Experiments.Soak.total_checks
+              (List.length report.Experiments.Soak.findings);
+            List.iter2
+              (fun path (f : Experiments.Soak.finding) ->
+                Format.printf
+                  "  seed %d cell %s: %s (%d events -> %d, %d replays) \
+                   repro: %s@."
+                  f.Experiments.Soak.f_seed
+                  (cell_name f.Experiments.Soak.f_cell)
+                  (String.concat " "
+                     (Experiments.Soak.violated_names
+                        f.Experiments.Soak.f_outcome))
+                  (List.length f.Experiments.Soak.f_plan.Netsim.Fault.events)
+                  (List.length f.Experiments.Soak.f_shrunk.Netsim.Fault.events)
+                  f.Experiments.Soak.f_replays path)
+              paths report.Experiments.Soak.findings;
+            Netobs.Metrics.pp_snapshot out_fmt (Netobs.Metrics.snapshot reg)
+          end;
+          Ok (report.Experiments.Soak.findings <> [])
+    in
+    match result with
+    | Error e -> `Error (false, e)
+    | Ok violated ->
+        if violated then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Sweep seeded random fault plans under the invariant oracle; \
+          shrink and save a JSON repro for every violation (exit 1 if any)")
+    Term.(
+      ret
+        (const run $ seeds $ profile $ budget $ cells $ fault_json $ repro_dir
+       $ no_shrink $ json))
+
 let list_cmd =
   let run () =
     Format.printf "experiments:@.";
@@ -484,4 +780,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ grid_cmd; best_cmd; experiments_cmd; scenario_cmd; stats_cmd;
-            rules_cmd; list_cmd ]))
+            soak_cmd; rules_cmd; list_cmd ]))

@@ -1,0 +1,5 @@
+(* E17 — the chaos soak, as a registry experiment: the harsh-profile
+   seed sweep with per-cell violation counts and shrink statistics.  The
+   machinery lives in {!Soak}; this wrapper just renders the table. *)
+
+let run () = snd (Soak.run_table ())

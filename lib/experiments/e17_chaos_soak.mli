@@ -1,0 +1,4 @@
+(** Experiment E17: the chaos soak harness under the harsh profile — see
+    {!Soak}. *)
+
+val run : unit -> Table.t

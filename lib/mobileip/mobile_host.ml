@@ -26,6 +26,10 @@ type t = {
   mutable encapsulated : int;
   mutable decapsulated : int;
   mutable reg_attempts : int;
+  mutable reg_failures : int;
+      (* registrations abandoned after the retry budget *)
+  mutable last_reg_failure : float option;
+      (* sim time the latest abandonment happened (oracle raw material) *)
   mutable tunnel_ident : int;
   mutable pending_reg : int option;  (* sequence awaiting a reply *)
   retry_base : float;  (* first retransmission delay, seconds *)
@@ -76,6 +80,9 @@ let selector t = t.sel
 let packets_encapsulated t = t.encapsulated
 let packets_decapsulated t = t.decapsulated
 let registration_attempts t = t.reg_attempts
+let registration_failures t = t.reg_failures
+let last_registration_failure t = t.last_reg_failure
+let advertised_correspondents t = List.rev t.advertised
 
 let http_dns_heuristic (pkt : Ipv4_packet.t) =
   match pkt.payload with
@@ -307,6 +314,8 @@ let rec register ?src ?reg_dst t ~care_of ~lifetime ?(on_result = fun _ -> ())
         Transport.Udp_service.unlisten udp
           ~port:Transport.Well_known.mip_registration;
         t.is_registered <- false;
+        t.reg_failures <- t.reg_failures + 1;
+        t.last_reg_failure <- Some (Net.node_now t.mh_node);
         invalidate_correspondents t;
         on_result false
       end
@@ -561,6 +570,8 @@ let create mh_node ~iface ~home ~home_prefix ~home_agent
       encapsulated = 0;
       decapsulated = 0;
       reg_attempts = 0;
+      reg_failures = 0;
+      last_reg_failure = None;
       tunnel_ident = 1;
       pending_reg = None;
       retry_base;

@@ -218,3 +218,14 @@ val packets_decapsulated : t -> int
 (** Tunnel packets unwrapped on arrival (In-IE / In-DE receive path). *)
 
 val registration_attempts : t -> int
+
+val registration_failures : t -> int
+(** Registrations abandoned after exhausting the retry budget. *)
+
+val last_registration_failure : t -> float option
+(** Simulation time of the most recent abandonment — raw material for the
+    invariant oracle's withdrawal check. *)
+
+val advertised_correspondents : t -> Netsim.Ipv4_addr.t list
+(** Correspondents this host has sent a binding update to (the set a
+    failed registration withdraws from), oldest first. *)

@@ -169,3 +169,7 @@ let converged t ~dst =
 
 let reset t ~dst = Hashtbl.remove t.table dst
 let reset_all t = Hashtbl.reset t.table
+
+let known_destinations t =
+  List.sort Ipv4_addr.compare
+    (Hashtbl.fold (fun dst _ acc -> dst :: acc) t.table [])

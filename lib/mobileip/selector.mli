@@ -65,3 +65,8 @@ val reset : t -> dst:Netsim.Ipv4_addr.t -> unit
     filters on the path has changed). *)
 
 val reset_all : t -> unit
+
+val known_destinations : t -> Netsim.Ipv4_addr.t list
+(** Destinations with per-destination state, sorted — what the invariant
+    oracle sweeps when checking that the selection never lands on a
+    method recorded as failed. *)

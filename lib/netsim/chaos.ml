@@ -1,0 +1,172 @@
+(* Seeded random generation of fault plans, and delta-debugging shrinking
+   of plans that violate an invariant.
+
+   Generation is a pure function of (seed, budget): the generator owns a
+   private LCG (same family as the link loss model and Fault's roll
+   stream) and never consults wall-clock or global state, so every plan
+   regenerates bit-for-bit from its seed — which is what makes a soak
+   sweep replayable and a shrunken repro stable. *)
+
+type budget = {
+  events : int;
+  horizon : float;
+  links : string list;
+  cuts : (string list * string list) list;
+  actions : (string * string list) list;
+  max_window : float;
+  max_extra_latency : float;
+}
+
+let default_budget =
+  {
+    events = 6;
+    horizon = 30.0;
+    links = [];
+    cuts = [];
+    actions = [];
+    max_window = 5.0;
+    max_extra_latency = 0.5;
+  }
+
+(* ---------- the seeded stream ---------- *)
+
+type rng = { mutable state : int }
+
+let mix seed =
+  (* Spread nearby seeds apart before the LCG consumes them, so seed 0
+     and seed 1 do not produce near-identical opening rolls. *)
+  let s = (seed * 0x9e3779b1) lxor (seed lsr 13) in
+  let s = (s * 0x85ebca6b) lxor (s lsr 16) in
+  s land 0x3fffffff
+
+let roll rng =
+  rng.state <- ((rng.state * 1103515245) + 12345) land 0x3fffffff;
+  float_of_int rng.state /. 1073741824.0
+
+let pick rng l =
+  match l with
+  | [] -> invalid_arg "Chaos.pick: empty list"
+  | l -> List.nth l (int_of_float (roll rng *. float_of_int (List.length l)))
+
+(* ---------- generation ---------- *)
+
+type kind = K_flap | K_partition | K_spike | K_duplicate | K_reorder | K_action
+
+let generate ?(seed = 0xc4a0) budget =
+  if budget.horizon <= 0.0 then invalid_arg "Chaos.generate: empty horizon";
+  if budget.max_window <= 0.0 then
+    invalid_arg "Chaos.generate: max_window must be positive";
+  let rng = { state = mix seed } in
+  let kinds =
+    List.concat
+      [
+        (if budget.links = [] then [] else [ K_flap; K_spike ]);
+        (if budget.cuts = [] then [] else [ K_partition ]);
+        [ K_duplicate; K_reorder ];
+        (if budget.actions = [] then [] else [ K_action ]);
+      ]
+  in
+  (* A window somewhere inside the horizon: starts in the first 80% so
+     even a late window has room to close before the horizon. *)
+  let window () =
+    let from_ = roll rng *. budget.horizon *. 0.8 in
+    let dur =
+      Float.min budget.max_window (0.25 +. (roll rng *. budget.max_window))
+    in
+    let until = Float.min budget.horizon (from_ +. dur) in
+    (from_, until)
+  in
+  let rate () = 0.05 +. (roll rng *. 0.4) in
+  let event () =
+    match pick rng kinds with
+    | K_flap ->
+        let link = pick rng budget.links in
+        let down, up = window () in
+        Fault.Flap { link; down; up }
+    | K_partition ->
+        let a, b = pick rng budget.cuts in
+        let from_, until = window () in
+        Fault.Partition { from_; until; a; b }
+    | K_spike ->
+        let link = pick rng budget.links in
+        let from_, until = window () in
+        let extra = 0.05 +. (roll rng *. budget.max_extra_latency) in
+        Fault.Latency_spike { link; from_; until; extra }
+    | K_duplicate ->
+        let from_, until = window () in
+        Fault.Duplicate { from_; until; rate = rate () }
+    | K_reorder ->
+        let from_, until = window () in
+        let max_extra = 0.05 +. (roll rng *. 0.25) in
+        Fault.Reorder { from_; until; rate = rate (); max_extra }
+    | K_action ->
+        let kind, args = pick rng budget.actions in
+        let arg = match args with [] -> "" | args -> pick rng args in
+        let at_ = roll rng *. budget.horizon *. 0.8 in
+        Fault.Action { at_; kind; arg }
+  in
+  let events = List.init (max 0 budget.events) (fun _ -> event ()) in
+  { Fault.seed = mix (seed + 0x5bd1); events }
+
+(* ---------- shrinking ---------- *)
+
+(* Zeller/Hildebrandt ddmin over the plan's event list: try ever-finer
+   chunk removals, keeping any reduction that still fails, until no chunk
+   of any granularity can be removed.  Deterministic: pure list surgery
+   plus whatever [still_failing] does — with a seeded replay as the test,
+   repeated shrinks of the same plan land on the same minimum. *)
+
+let split_chunks l n =
+  let len = List.length l in
+  let base = len / n and extra = len mod n in
+  let rec go i rest acc =
+    if i >= n then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest' =
+        let rec take k xs acc =
+          if k = 0 then (List.rev acc, xs)
+          else
+            match xs with
+            | [] -> (List.rev acc, [])
+            | x :: tl -> take (k - 1) tl (x :: acc)
+        in
+        take size rest []
+      in
+      go (i + 1) rest' (chunk :: acc)
+  in
+  go 0 l []
+
+let shrink ~still_failing (plan : Fault.plan) =
+  let replays = ref 0 in
+  let fails events =
+    incr replays;
+    still_failing { plan with Fault.events }
+  in
+  let rec ddmin events n =
+    let len = List.length events in
+    if len <= 1 then events
+    else
+      let chunks = split_chunks events n in
+      match List.find_opt fails chunks with
+      | Some chunk -> ddmin chunk 2
+      | None -> (
+          let complements =
+            List.mapi
+              (fun i _ ->
+                List.concat (List.filteri (fun j _ -> j <> i) chunks))
+              chunks
+          in
+          let complements =
+            if n = 2 then [] (* complements of halves are the halves *)
+            else complements
+          in
+          match List.find_opt fails complements with
+          | Some comp -> ddmin comp (max (n - 1) 2)
+          | None -> if n < len then ddmin events (min len (2 * n)) else events)
+  in
+  let minimal =
+    if plan.Fault.events = [] then []
+    else ddmin plan.Fault.events (min 2 (List.length plan.Fault.events))
+  in
+  ({ plan with Fault.events = minimal }, !replays)

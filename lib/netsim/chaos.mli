@@ -1,0 +1,46 @@
+(** Randomized fault-plan generation and failure shrinking.
+
+    {!generate} turns a seed and a declarative {!budget} into a
+    {!Fault.plan}: which links may flap or lag, which partition cuts may
+    open, which opaque actions (agent crashes, handover triggers — see
+    {!Fault.Action}) may fire, how many events, and inside what time
+    horizon.  Generation is a pure function of [(seed, budget)] — no
+    wall-clock, no global state — so every plan regenerates bit-for-bit
+    from its seed, a soak sweep is replayable, and a shrunken repro is
+    stable.
+
+    {!shrink} is delta debugging (ddmin) over a failing plan's event
+    list: it removes ever-finer chunks of events, keeping any reduction
+    the caller's replay still reports as failing, and returns a plan from
+    which no chunk at any tried granularity can be removed. *)
+
+type budget = {
+  events : int;  (** how many events to generate (>= 0) *)
+  horizon : float;  (** all scripted activity ends by this time *)
+  links : string list;  (** links eligible for flaps and latency spikes *)
+  cuts : (string list * string list) list;
+      (** candidate partitions (node-name sets) *)
+  actions : (string * string list) list;
+      (** opaque action kinds and their candidate arguments *)
+  max_window : float;  (** longest single fault window, seconds *)
+  max_extra_latency : float;  (** largest latency-spike addition, seconds *)
+}
+
+val default_budget : budget
+(** 6 events in a 30 s horizon, windows up to 5 s, spikes up to 0.5 s; no
+    links, cuts or actions (callers fill in their world's names). *)
+
+val generate : ?seed:int -> budget -> Fault.plan
+(** Deterministic: the same seed and budget always produce the identical
+    plan, and the plan respects its budget (event count, horizon, only
+    named links/cuts/actions).  Event kinds whose candidate lists are
+    empty are never generated.
+    @raise Invalid_argument if [horizon <= 0] or [max_window <= 0]. *)
+
+val shrink :
+  still_failing:(Fault.plan -> bool) -> Fault.plan -> Fault.plan * int
+(** [shrink ~still_failing plan] assumes [plan] itself fails (the caller
+    observed the violation that prompted the shrink) and returns the
+    reduced plan plus the number of [still_failing] replays spent.  The
+    result keeps the original seed, so replaying it reproduces the
+    violation. *)

@@ -151,3 +151,212 @@ let reorder_window t ~from_ ~until ~rate ~max_extra =
     invalid_arg "Fault.reorder_window: max_extra must be positive";
   at t ~time:from_ (fun () -> t.reorder <- Some (rate, max_extra));
   at t ~time:until (fun () -> t.reorder <- None)
+
+(* ---------- declarative plans ---------- *)
+
+(* A plan as data rather than a sequence of API calls: what the {!Chaos}
+   generator produces, the delta-debugging shrinker edits, and the
+   [--fault-json] repro files store.  [apply] funnels every event through
+   the imperative API above, so the two styles stay behaviourally
+   identical. *)
+
+type event =
+  | Flap of { link : string; down : float; up : float }
+  | Partition of { from_ : float; until : float; a : string list; b : string list }
+  | Latency_spike of { link : string; from_ : float; until : float; extra : float }
+  | Duplicate of { from_ : float; until : float; rate : float }
+  | Reorder of { from_ : float; until : float; rate : float; max_extra : float }
+  | Action of { at_ : float; kind : string; arg : string }
+
+type plan = { seed : int; events : event list }
+
+let event_start = function
+  | Flap { down; _ } -> down
+  | Partition { from_; _ } | Latency_spike { from_; _ } | Duplicate { from_; _ }
+  | Reorder { from_; _ } ->
+      from_
+  | Action { at_; _ } -> at_
+
+let event_end = function
+  | Flap { up; _ } -> up
+  | Partition { until; _ } | Latency_spike { until; _ } | Duplicate { until; _ }
+  | Reorder { until; _ } ->
+      until
+  | Action { at_; _ } -> at_
+
+let plan_end p = List.fold_left (fun acc e -> Float.max acc (event_end e)) 0.0 p.events
+
+let apply ?(action = fun ~at:_ ~kind:_ ~arg:_ -> ()) net plan =
+  let t = attach ~seed:plan.seed net in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Flap { link; down; up } -> flap t ~link ~down ~up
+      | Partition { from_; until; a; b } -> partition t ~from_ ~until ~a ~b
+      | Latency_spike { link; from_; until; extra } ->
+          latency_spike t ~link ~from_ ~until ~extra
+      | Duplicate { from_; until; rate } -> duplicate_window t ~from_ ~until ~rate
+      | Reorder { from_; until; rate; max_extra } ->
+          reorder_window t ~from_ ~until ~rate ~max_extra
+      | Action { at_; kind; arg } ->
+          at t ~time:at_ (fun () -> action ~at:at_ ~kind ~arg))
+    plan.events;
+  t
+
+(* JSON round-trip.  Times are always emitted as JSON floats so a re-parse
+   restores them bit-for-bit (the printer keeps floats recognisable). *)
+
+let strings l = Json.List (List.map (fun s -> Json.String s) l)
+
+let json_of_event = function
+  | Flap { link; down; up } ->
+      Json.Obj
+        [
+          ("type", Json.String "flap");
+          ("link", Json.String link);
+          ("down", Json.Float down);
+          ("up", Json.Float up);
+        ]
+  | Partition { from_; until; a; b } ->
+      Json.Obj
+        [
+          ("type", Json.String "partition");
+          ("from", Json.Float from_);
+          ("until", Json.Float until);
+          ("a", strings a);
+          ("b", strings b);
+        ]
+  | Latency_spike { link; from_; until; extra } ->
+      Json.Obj
+        [
+          ("type", Json.String "latency-spike");
+          ("link", Json.String link);
+          ("from", Json.Float from_);
+          ("until", Json.Float until);
+          ("extra", Json.Float extra);
+        ]
+  | Duplicate { from_; until; rate } ->
+      Json.Obj
+        [
+          ("type", Json.String "duplicate");
+          ("from", Json.Float from_);
+          ("until", Json.Float until);
+          ("rate", Json.Float rate);
+        ]
+  | Reorder { from_; until; rate; max_extra } ->
+      Json.Obj
+        [
+          ("type", Json.String "reorder");
+          ("from", Json.Float from_);
+          ("until", Json.Float until);
+          ("rate", Json.Float rate);
+          ("max_extra", Json.Float max_extra);
+        ]
+  | Action { at_; kind; arg } ->
+      Json.Obj
+        [
+          ("type", Json.String "action");
+          ("at", Json.Float at_);
+          ("kind", Json.String kind);
+          ("arg", Json.String arg);
+        ]
+
+let plan_to_json p =
+  Json.Obj
+    [
+      ("seed", Json.Int p.seed);
+      ("events", Json.List (List.map json_of_event p.events));
+    ]
+
+let plan_to_string p = Json.to_string (plan_to_json p)
+
+let ( let* ) r f = Result.bind r f
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "fault plan: missing or bad field %S" name)
+
+let string_list j =
+  match Json.get_list j with
+  | None -> None
+  | Some items ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | x :: rest -> (
+            match Json.get_string x with
+            | Some s -> go (s :: acc) rest
+            | None -> None)
+      in
+      go [] items
+
+let event_of_json j =
+  let* ty = field "type" Json.get_string j in
+  match ty with
+  | "flap" ->
+      let* link = field "link" Json.get_string j in
+      let* down = field "down" Json.get_float j in
+      let* up = field "up" Json.get_float j in
+      Ok (Flap { link; down; up })
+  | "partition" ->
+      let* from_ = field "from" Json.get_float j in
+      let* until = field "until" Json.get_float j in
+      let* a = field "a" string_list j in
+      let* b = field "b" string_list j in
+      Ok (Partition { from_; until; a; b })
+  | "latency-spike" ->
+      let* link = field "link" Json.get_string j in
+      let* from_ = field "from" Json.get_float j in
+      let* until = field "until" Json.get_float j in
+      let* extra = field "extra" Json.get_float j in
+      Ok (Latency_spike { link; from_; until; extra })
+  | "duplicate" ->
+      let* from_ = field "from" Json.get_float j in
+      let* until = field "until" Json.get_float j in
+      let* rate = field "rate" Json.get_float j in
+      Ok (Duplicate { from_; until; rate })
+  | "reorder" ->
+      let* from_ = field "from" Json.get_float j in
+      let* until = field "until" Json.get_float j in
+      let* rate = field "rate" Json.get_float j in
+      let* max_extra = field "max_extra" Json.get_float j in
+      Ok (Reorder { from_; until; rate; max_extra })
+  | "action" ->
+      let* at_ = field "at" Json.get_float j in
+      let* kind = field "kind" Json.get_string j in
+      let* arg = field "arg" Json.get_string j in
+      Ok (Action { at_; kind; arg })
+  | other -> Error (Printf.sprintf "fault plan: unknown event type %S" other)
+
+let plan_of_json j =
+  let* seed = field "seed" Json.get_int j in
+  let* events = field "events" Json.get_list j in
+  let rec go acc = function
+    | [] -> Ok { seed; events = List.rev acc }
+    | e :: rest ->
+        let* ev = event_of_json e in
+        go (ev :: acc) rest
+  in
+  go [] events
+
+let plan_of_string s =
+  match Json.of_string s with Error e -> Error e | Ok j -> plan_of_json j
+
+let pp_event fmt = function
+  | Flap { link; down; up } ->
+      Format.fprintf fmt "flap %s %.3g-%.3gs" link down up
+  | Partition { from_; until; a; b } ->
+      Format.fprintf fmt "partition {%s}|{%s} %.3g-%.3gs" (String.concat "," a)
+        (String.concat "," b) from_ until
+  | Latency_spike { link; from_; until; extra } ->
+      Format.fprintf fmt "latency-spike %s +%.3gs %.3g-%.3gs" link extra from_
+        until
+  | Duplicate { from_; until; rate } ->
+      Format.fprintf fmt "duplicate %.0f%% %.3g-%.3gs" (rate *. 100.0) from_
+        until
+  | Reorder { from_; until; rate; max_extra } ->
+      Format.fprintf fmt "reorder %.0f%% <=%.3gs %.3g-%.3gs" (rate *. 100.0)
+        max_extra from_ until
+  | Action { at_; kind; arg } ->
+      if arg = "" then Format.fprintf fmt "%s @%.3gs" kind at_
+      else Format.fprintf fmt "%s(%s) @%.3gs" kind arg at_

@@ -70,6 +70,59 @@ val at : t -> time:float -> (unit -> unit) -> unit
     route changes...).  Runs immediately when [time] is not in the
     future. *)
 
+(** {1 Declarative plans}
+
+    A fault plan as data: what the {!Chaos} generator produces, the
+    delta-debugging shrinker edits, and [--fault-json] repro files store.
+    {!apply} funnels every event through the imperative API above, so a
+    declarative plan and the equivalent sequence of calls behave
+    identically — and replaying a plan with the same seed reproduces a run
+    exactly.
+
+    [Action] events are opaque to this module: an (at, kind, arg) triple
+    the applying layer interprets (agent crash/restart, handover
+    triggers...), so the simulator core stays ignorant of Mobile IP. *)
+
+type event =
+  | Flap of { link : string; down : float; up : float }
+  | Partition of { from_ : float; until : float; a : string list; b : string list }
+  | Latency_spike of { link : string; from_ : float; until : float; extra : float }
+  | Duplicate of { from_ : float; until : float; rate : float }
+  | Reorder of { from_ : float; until : float; rate : float; max_extra : float }
+  | Action of { at_ : float; kind : string; arg : string }
+
+type plan = { seed : int; events : event list }
+
+val event_start : event -> float
+val event_end : event -> float
+
+val plan_end : plan -> float
+(** Latest end time over the plan's events; [0] for an empty plan.  After
+    this instant no scripted fault is active (scheduled restarts
+    included), which is where the eventual-recovery clock starts. *)
+
+val apply :
+  ?action:(at:float -> kind:string -> arg:string -> unit) ->
+  Net.t ->
+  plan ->
+  t
+(** Attach the plan to the network: seed the generator with [plan.seed]
+    and script every event.  [Action] events call [?action] (default:
+    ignore) at their scheduled time.
+    @raise Invalid_argument on an ill-formed event (empty window, bad
+    rate...), like the imperative API. *)
+
+val json_of_event : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+
+val plan_to_json : plan -> Json.t
+(** Round-trips: [plan_of_json (plan_to_json p) = Ok p]. *)
+
+val plan_of_json : Json.t -> (plan, string) result
+val plan_to_string : plan -> string
+val plan_of_string : string -> (plan, string) result
+val pp_event : Format.formatter -> event -> unit
+
 (** {1 Statistics} *)
 
 type stats = {

@@ -1,0 +1,122 @@
+(* The online invariant oracle: named checks evaluated while a simulation
+   runs, with every violation recorded against the simulation clock.
+
+   Three check styles cover the properties the chaos harness needs:
+
+   - polled checks run on a bounded periodic engine event (state that must
+     always hold: binding lifetimes, proxy-ARP hygiene);
+   - watches run on every trace record via the per-trace observer
+     (per-packet properties);
+   - final checks run once at [finish] (eventual properties: recovery
+     after the last fault).
+
+   The engine is deliberately generic — it knows nothing about Mobile IP.
+   Concrete invariants are built above the simulator (Scenarios.Oracle)
+   from the state-exposure accessors of the mobility layer. *)
+
+type violation = { name : string; time : float; detail : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%8.3fs] %s: %s" v.time v.name v.detail
+
+type check = { c_name : string; c_run : unit -> string option }
+
+type t = {
+  net : Net.t;
+  mutable polled : check list;  (* reverse registration order *)
+  mutable finals : check list;
+  mutable watches : (string * (Trace.record -> string option)) list;
+  mutable rev_violations : violation list;
+  counts : (string, int) Hashtbl.t;  (* name -> times observed *)
+  mutable checks_run : int;
+  mutable generation : int;  (* bumps on stop/finish: stale ticks die *)
+  mutable watching : bool;
+}
+
+let create net =
+  {
+    net;
+    polled = [];
+    finals = [];
+    watches = [];
+    rev_violations = [];
+    counts = Hashtbl.create 8;
+    checks_run = 0;
+    generation = 0;
+    watching = false;
+  }
+
+let net t = t.net
+
+let record_violation t ~time ~name ~detail =
+  let n = Option.value (Hashtbl.find_opt t.counts name) ~default:0 in
+  Hashtbl.replace t.counts name (n + 1);
+  (* Keep the first violation of each invariant: a persistently-broken
+     condition is one finding, not a flood. *)
+  if n = 0 then t.rev_violations <- { name; time; detail } :: t.rev_violations
+
+let add_check t ~name run = t.polled <- { c_name = name; c_run = run } :: t.polled
+let add_final t ~name run = t.finals <- { c_name = name; c_run = run } :: t.finals
+
+let install_observer t =
+  if not t.watching then begin
+    t.watching <- true;
+    Trace.set_observer (Net.trace t.net)
+      (Some
+         (fun r ->
+           List.iter
+             (fun (name, w) ->
+               match w r with
+               | Some detail -> record_violation t ~time:r.Trace.time ~name ~detail
+               | None -> ())
+             t.watches))
+  end
+
+let add_watch t ~name w =
+  t.watches <- t.watches @ [ (name, w) ];
+  install_observer t
+
+let run_checks t checks =
+  let now = Net.now t.net in
+  List.iter
+    (fun c ->
+      t.checks_run <- t.checks_run + 1;
+      match c.c_run () with
+      | Some detail -> record_violation t ~time:now ~name:c.c_name ~detail
+      | None -> ())
+    (List.rev checks)
+
+let check_now t = run_checks t t.polled
+
+let start t ?(interval = 1.0) ?(ticks = 60) () =
+  if interval <= 0.0 then invalid_arg "Invariant.start: interval must be positive";
+  let eng = Net.engine t.net in
+  let generation = t.generation in
+  let rec tick remaining =
+    if remaining > 0 && t.generation = generation then
+      Engine.after eng interval (fun () ->
+          if t.generation = generation then begin
+            check_now t;
+            tick (remaining - 1)
+          end)
+  in
+  check_now t;
+  tick ticks
+
+let finish t =
+  check_now t;
+  run_checks t t.finals;
+  t.generation <- t.generation + 1;
+  if t.watching then begin
+    t.watching <- false;
+    Trace.set_observer (Net.trace t.net) None
+  end
+
+let violations t = List.rev t.rev_violations
+let violated t = t.rev_violations <> []
+
+let names t =
+  List.sort_uniq compare (List.map (fun v -> v.name) (violations t))
+
+let count t name = Option.value (Hashtbl.find_opt t.counts name) ~default:0
+let checks_run t = t.checks_run

@@ -1,0 +1,66 @@
+(** The online invariant oracle: named checks evaluated while a
+    simulation runs.
+
+    An oracle attaches to a {!Net.t} and evaluates three styles of check:
+
+    - {e polled} checks ({!add_check}) run when {!start}'s bounded
+      periodic tick fires, at every {!check_now}, and once at {!finish} —
+      conditions that must always hold (binding lifetimes, cache and
+      proxy-ARP hygiene, selector discipline);
+    - {e watches} ({!add_watch}) run on every {!Trace} record as it is
+      written, via the per-trace observer — per-packet properties;
+    - {e final} checks ({!add_final}) run once at {!finish} — eventual
+      properties (recovery after the last fault of a plan).
+
+    A check returns [Some detail] to report a violation.  Each invariant
+    is recorded at the simulation time of its {e first} violation (with a
+    running count of repeats), so a persistently-broken condition is one
+    finding, not a flood.
+
+    The engine knows nothing about Mobile IP: concrete invariants are
+    built above the simulator (e.g. [Scenarios.Oracle]) from the mobility
+    layer's state-exposure accessors. *)
+
+type violation = { name : string; time : float; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create : Net.t -> t
+val net : t -> Net.t
+
+val add_check : t -> name:string -> (unit -> string option) -> unit
+(** Register a polled check. *)
+
+val add_final : t -> name:string -> (unit -> string option) -> unit
+(** Register a check run once, at {!finish}. *)
+
+val add_watch : t -> name:string -> (Trace.record -> string option) -> unit
+(** Register a per-trace-record check (installs the trace observer on
+    first use). *)
+
+val start : t -> ?interval:float -> ?ticks:int -> unit -> unit
+(** Run the polled checks now and then every [interval] simulated seconds
+    (default 1) for [ticks] periods (default 60 — bounded so simulations
+    drain).  @raise Invalid_argument if [interval <= 0]. *)
+
+val check_now : t -> unit
+(** Run every polled check immediately. *)
+
+val finish : t -> unit
+(** Run the polled checks one last time, then the final checks; stop the
+    periodic tick and detach the trace observer. *)
+
+val violations : t -> violation list
+(** First violation of each invariant, in order of occurrence. *)
+
+val violated : t -> bool
+
+val names : t -> string list
+(** Distinct violated invariant names, sorted. *)
+
+val count : t -> string -> int
+(** How many times the named invariant was observed violated. *)
+
+val checks_run : t -> int

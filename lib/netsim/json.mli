@@ -1,11 +1,17 @@
-(** JSON for the observability layer — an alias for {!Netsim.Json}.
+(** A minimal JSON value type with a printer and a parser.
 
-    The implementation lives in Netsim so that the simulator can serialise
-    fault plans ({!Netsim.Fault.plan_to_json}) without depending on this
-    library; everything the observability layer exports keeps using
-    [Netobs.Json], and the two types are equal. *)
+    The simulator and the observability layer need machine-readable output
+    (fault-plan repro files, JSONL trace export, metric snapshots, bench
+    results) without adding dependencies the container does not ship, so
+    this is a small self-contained implementation: no streaming, strings
+    are OCaml strings (UTF-8 pass
+    through; [\uXXXX] escapes are decoded to UTF-8 on parse), numbers are
+    [Int] when they look integral on the wire and [Float] otherwise.
+    Floats are printed with the shortest decimal representation that
+    round-trips, so [of_string (to_string j) = Ok j] for every value this
+    library itself produces. *)
 
-type t = Netsim.Json.t =
+type t =
   | Null
   | Bool of bool
   | Int of int

@@ -315,6 +315,9 @@ let add_proxy_arp _node iface addr =
 let remove_proxy_arp _node iface addr =
   iface.proxy <- List.filter (fun a -> not (Ipv4_addr.equal a addr)) iface.proxy
 
+let proxy_arp_entries node =
+  List.concat_map (fun iface -> List.rev iface.proxy) node.node_ifaces
+
 let arp_lookup node addr = Hashtbl.find_opt node.arp_cache addr
 let clear_arp node = Hashtbl.reset node.arp_cache
 

@@ -180,6 +180,12 @@ val add_proxy_arp : node -> iface -> Ipv4_addr.t -> unit
 
 val remove_proxy_arp : node -> iface -> Ipv4_addr.t -> unit
 
+val proxy_arp_entries : node -> Ipv4_addr.t list
+(** Every address this node currently answers proxy ARP for, across all
+    its interfaces, in installation order — the node's proxy-ARP
+    {e footprint}, which the invariant oracle checks is torn down when the
+    binding behind it goes away. *)
+
 val gratuitous_arp : node -> iface -> Ipv4_addr.t -> unit
 (** Broadcast an unsolicited ARP reply binding the address to this
     interface's MAC, updating caches on the segment. *)

@@ -63,6 +63,9 @@ type t = {
   mutable rev_records : record list;
   mutable count : int;
   by_flow : (int, flow_entry) Hashtbl.t;
+  mutable observer : (record -> unit) option;
+      (* per-trace tap (the invariant oracle); independent of the
+         process-wide sink below *)
 }
 
 (* Optional process-wide tap, fed every record from every trace as it is
@@ -72,7 +75,10 @@ let sink : (record -> unit) option ref = ref None
 
 let set_sink f = sink := f
 
-let create () = { rev_records = []; count = 0; by_flow = Hashtbl.create 64 }
+let create () =
+  { rev_records = []; count = 0; by_flow = Hashtbl.create 64; observer = None }
+
+let set_observer t f = t.observer <- f
 
 let frame_of = function
   | Send { frame; _ }
@@ -103,6 +109,7 @@ let record t ~time event =
       e.f_transmissions <- e.f_transmissions + 1;
       e.f_wire_bytes <- e.f_wire_bytes + bytes
   | _ -> ());
+  (match t.observer with Some f -> f r | None -> ());
   match !sink with Some f -> f r | None -> ()
 
 let records t = List.rev t.rev_records

@@ -61,6 +61,13 @@ val records : t -> record list
 val clear : t -> unit
 val length : t -> int
 
+val set_observer : t -> (record -> unit) option -> unit
+(** Install (or clear) a per-trace tap called with every record as it is
+    written to {e this} trace — how the {!Invariant} oracle watches a run
+    without disturbing the process-wide {!set_sink} used for JSONL export.
+    The observer must not call back into the trace.  One observer per
+    trace. *)
+
 val set_sink : (record -> unit) option -> unit
 (** Install (or clear) a process-wide tap receiving every record from
     {e every} trace as it is written — the hook behind the CLI's

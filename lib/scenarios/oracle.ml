@@ -1,0 +1,171 @@
+open Netsim
+
+type t = { world : Topo.t; inv : Invariant.t }
+
+let create world = { world; inv = Invariant.create world.Topo.net }
+let world t = t.world
+let inv t = t.inv
+
+let add_binding_lifetime ?(grace = 45.0) t =
+  let w = t.world in
+  Invariant.add_check t.inv ~name:"binding-lifetime" (fun () ->
+      let now = Net.now w.Topo.net in
+      let stale =
+        List.find_opt
+          (fun b -> now > Mobileip.Types.binding_expires_at b +. grace)
+          (Mobileip.Home_agent.bindings w.Topo.ha)
+      in
+      match stale with
+      | None -> None
+      | Some b ->
+          Some
+            (Printf.sprintf
+               "binding for %s expired at %.3f still in the table at %.3f"
+               (Ipv4_addr.to_string b.Mobileip.Types.home)
+               (Mobileip.Types.binding_expires_at b)
+               now))
+
+let add_withdrawal ?(grace = 5.0) t =
+  let w = t.world in
+  Invariant.add_check t.inv ~name:"withdrawal" (fun () ->
+      let mh = w.Topo.mh in
+      match Mobileip.Mobile_host.last_registration_failure mh with
+      | None -> None
+      | Some _ when Mobileip.Mobile_host.registered mh -> None
+      | Some tf ->
+          let now = Net.now w.Topo.net in
+          if now <= tf +. grace then None
+          else
+            let home = w.Topo.mh_home_addr in
+            let stale =
+              List.find_opt
+                (fun b ->
+                  Ipv4_addr.equal b.Mobileip.Types.home home
+                  && b.Mobileip.Types.registered_at < tf
+                  && Mobileip.Types.binding_valid ~now b)
+                (Mobileip.Correspondent.binding_cache w.Topo.ch)
+            in
+            Option.map
+              (fun (b : Mobileip.Types.binding) ->
+                Printf.sprintf
+                  "registration failed at %.3f but correspondent still \
+                   caches care-of %s (learned at %.3f) at %.3f"
+                  tf
+                  (Ipv4_addr.to_string b.Mobileip.Types.care_of)
+                  b.Mobileip.Types.registered_at now)
+              stale)
+
+let add_proxy_arp ?(grace = 45.0) t =
+  let w = t.world in
+  let first_seen : (Ipv4_addr.t, float) Hashtbl.t = Hashtbl.create 4 in
+  Invariant.add_check t.inv ~name:"proxy-arp-purge" (fun () ->
+      let now = Net.now w.Topo.net in
+      let valid_homes =
+        List.filter_map
+          (fun (b : Mobileip.Types.binding) ->
+            if Mobileip.Types.binding_valid ~now b then Some b.home else None)
+          (Mobileip.Home_agent.bindings w.Topo.ha)
+      in
+      let orphans =
+        List.filter
+          (fun a -> not (List.exists (Ipv4_addr.equal a) valid_homes))
+          (Net.proxy_arp_entries (Mobileip.Home_agent.node w.Topo.ha))
+      in
+      (* Forget addresses that regained a binding or were removed. *)
+      let gone =
+        Hashtbl.fold
+          (fun a _ acc ->
+            if List.exists (Ipv4_addr.equal a) orphans then acc else a :: acc)
+          first_seen []
+      in
+      List.iter (Hashtbl.remove first_seen) gone;
+      List.iter
+        (fun a ->
+          if not (Hashtbl.mem first_seen a) then Hashtbl.add first_seen a now)
+        orphans;
+      let overdue =
+        List.find_opt
+          (fun a -> now -. Hashtbl.find first_seen a > grace)
+          orphans
+      in
+      Option.map
+        (fun a ->
+          Printf.sprintf
+            "proxy-ARP entry for %s has had no valid binding since %.3f \
+             (now %.3f)"
+            (Ipv4_addr.to_string a)
+            (Hashtbl.find first_seen a)
+            now)
+        overdue)
+
+let add_selector_discipline t =
+  let w = t.world in
+  Invariant.add_check t.inv ~name:"selector-discipline" (fun () ->
+      match Mobileip.Mobile_host.selector w.Topo.mh with
+      | None -> None
+      | Some sel ->
+          let offender =
+            List.find_map
+              (fun dst ->
+                let m = Mobileip.Mobile_host.out_method_for w.Topo.mh ~dst in
+                if
+                  List.exists (Mobileip.Grid.equal_out m)
+                    (Mobileip.Selector.failed_methods sel ~dst)
+                then Some (dst, m)
+                else None)
+              (Mobileip.Selector.known_destinations sel)
+          in
+          Option.map
+            (fun (dst, m) ->
+              Printf.sprintf "sending to %s via %s, a method recorded failed"
+                (Ipv4_addr.to_string dst)
+                (Mobileip.Grid.out_to_string m))
+            offender)
+
+let add_recovery ~after t =
+  let w = t.world in
+  Invariant.add_final t.inv ~name:"eventual-recovery" (fun () ->
+      let now = Net.now w.Topo.net in
+      if now < after then None
+      else
+        let mh = w.Topo.mh in
+        if Mobileip.Mobile_host.at_home mh || Mobileip.Mobile_host.registered mh
+        then None
+        else
+          Some
+            (Printf.sprintf
+               "mobile host away and unregistered at %.3f, %.1f s after the \
+                last scripted fault"
+               now (now -. after)))
+
+let add_tcp_stream ?(name = "tcp-stream") ~expected t conn =
+  let error = ref None in
+  let offset = ref 0 in
+  Transport.Tcp.on_receive conn (fun data ->
+      Bytes.iteri
+        (fun i c ->
+          let pos = !offset + i in
+          let want = expected pos in
+          if !error = None && c <> want then
+            error :=
+              Some
+                (Printf.sprintf
+                   "byte %d: got %C, expected %C (stream reordered, \
+                    duplicated or corrupted)"
+                   pos c want))
+        data;
+      offset := !offset + Bytes.length data);
+  Invariant.add_check t.inv ~name (fun () -> !error)
+
+let install_standard ?recovery_after t =
+  add_binding_lifetime t;
+  add_withdrawal t;
+  add_proxy_arp t;
+  add_selector_discipline t;
+  Option.iter (fun after -> add_recovery ~after t) recovery_after
+
+let start ?interval ?ticks t = Invariant.start t.inv ?interval ?ticks ()
+let check_now t = Invariant.check_now t.inv
+let finish t = Invariant.finish t.inv
+let violations t = Invariant.violations t.inv
+let violated t = Invariant.violated t.inv

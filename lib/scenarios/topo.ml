@@ -49,7 +49,8 @@ let build ?(backbone_hops = 4) ?(ch_position = Remote)
     ?(ch_capability = Mobileip.Correspondent.Conventional)
     ?(notify_correspondents = false) ?(with_dns = false)
     ?(encap = Mobileip.Encap.Ipip) ?(link_latency = 0.010)
-    ?(with_cellular = false) ?(mh_lifetime = 300) () =
+    ?(with_cellular = false) ?(mh_lifetime = 300) ?(mh_retry_base = 1.0)
+    ?(mh_retry_cap = 8.0) ?(mh_retry_limit = 6) () =
   if backbone_hops < 2 then invalid_arg "Topo.build: need >= 2 backbone hops";
   let net = Net.create () in
   let home_prefix = prefix "36.1.0.0/16" in
@@ -247,7 +248,8 @@ let build ?(backbone_hops = 4) ?(ch_position = Remote)
   let mh =
     Mobileip.Mobile_host.create mh_node ~iface:mh_iface ~home:mh_home_addr
       ~home_prefix ~home_agent:(Mobileip.Home_agent.address ha) ~encap
-      ~lifetime:mh_lifetime ()
+      ~lifetime:mh_lifetime ~retry_base:mh_retry_base ~retry_cap:mh_retry_cap
+      ~retry_limit:mh_retry_limit ()
   in
 
   (* Optional cellular attachment near the visited domain (§1): a slow,
@@ -337,6 +339,32 @@ let build ?(backbone_hops = 4) ?(ch_position = Remote)
   }
 
 let run t = Net.run t.net
+
+(* Chaos targets: the names the fault layer knows this world by.  Segment
+   names and point-to-point link names as {!Netsim.Net} reports them to
+   the fault hook. *)
+let chaos_links t =
+  let n = List.length t.backbone in
+  let backbone_links =
+    List.init (n - 1) (fun i -> Printf.sprintf "b%d<->b%d" i (i + 1))
+  in
+  [ "home-lan"; "visited-lan"; "hr<->b0"; Printf.sprintf "vr<->b%d" (n - 1) ]
+  @ backbone_links
+
+let chaos_cuts t =
+  let n = List.length t.backbone in
+  let names first count =
+    List.init count (fun i -> Printf.sprintf "b%d" (first + i))
+  in
+  let mid = n / 2 in
+  [
+    (* isolate the home domain *)
+    ([ "hr" ], [ "b0" ]);
+    (* isolate the visited domain *)
+    ([ "vr" ], [ Printf.sprintf "b%d" (n - 1) ]);
+    (* split the backbone down the middle *)
+    (names 0 mid, names mid (n - mid));
+  ]
 
 let roam t ?(on_registered = fun _ -> ()) () =
   Mobileip.Mobile_host.move_to_dhcp t.mh t.visited_segment ~on_registered ();

@@ -84,14 +84,21 @@ val build :
   ?link_latency:float ->
   ?with_cellular:bool ->
   ?mh_lifetime:int ->
+  ?mh_retry_base:float ->
+  ?mh_retry_cap:float ->
+  ?mh_retry_limit:int ->
   unit ->
   t
 (** Build the world.  Defaults: 4 backbone hops, [Remote] correspondent,
     no filtering, conventional correspondent, no ICMP notifications, no
     DNS server, IP-in-IP, 10 ms backbone links, registration lifetime
     300 s ([?mh_lifetime] — churn experiments shorten it so expiry and
-    renewal happen within the run).  The mobile host starts at home and is
-    not yet registered anywhere.
+    renewal happen within the run).  The registration backoff knobs
+    ([?mh_retry_base], [?mh_retry_cap], [?mh_retry_limit]) pass through to
+    {!Mobileip.Mobile_host.create} — chaos runs tighten them so a
+    registration against a partitioned home agent gives up within the
+    fault window rather than after it.  The mobile host starts at home
+    and is not yet registered anywhere.
 
     [?with_cellular] adds a second way onto the Internet near the visited
     domain: a cellular-telephone-style attachment (paper §1's "cellular
@@ -119,3 +126,19 @@ val come_home : t -> unit
 
 val run : t -> unit
 (** Drain the event queue. *)
+
+(** {1 Chaos targets}
+
+    The world described in the vocabulary of {!Netsim.Chaos.budget}: which
+    names the fault layer can aim at.  Both lists are deterministic
+    functions of the build parameters, so a budget built from them is as
+    replayable as the world itself. *)
+
+val chaos_links : t -> string list
+(** Every interesting link by the name the fault hook sees it under: the
+    home and visited segments, the two access links, and the backbone
+    chain links. *)
+
+val chaos_cuts : t -> (string list * string list) list
+(** Candidate partition cuts (node-name sets): isolate the home domain,
+    isolate the visited domain, split the backbone down the middle. *)

@@ -68,6 +68,9 @@ and t = {
   mutable next_iss : int;
   mutable next_port : int;
   mutable feedback_cb : (feedback -> unit) option;
+  mutable retx_aborts : int;
+      (* connections that died because the retransmission limit was
+         exhausted — "gave up", as opposed to recovered or reset *)
 }
 
 let registry : (Net.node * t) list ref = ref []
@@ -81,6 +84,7 @@ let local_endpoint c = (c.local_addr, c.local_port)
 let remote_endpoint c = (c.remote_addr, c.remote_port)
 let retransmissions c = c.total_retx
 let bytes_delivered c = c.delivered
+let retx_aborts t = t.retx_aborts
 let on_receive c f = c.recv_cb <- Some f
 let on_state_change c f = c.state_cb <- Some f
 
@@ -152,6 +156,7 @@ and on_timeout c =
       if c.retries >= max_retries then begin
         stop_timer c;
         c.inflight <- [];
+        c.stack.retx_aborts <- c.stack.retx_aborts + 1;
         set_state c Aborted
       end
       else begin
@@ -412,6 +417,7 @@ let get node =
           next_iss = 100_000;
           next_port = Well_known.ephemeral_base;
           feedback_cb = None;
+          retx_aborts = 0;
         }
       in
       registry := (node, t) :: !registry;

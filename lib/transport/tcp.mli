@@ -90,6 +90,12 @@ val retransmissions : conn -> int
 val bytes_delivered : conn -> int
 (** Application bytes delivered in order to [on_receive]. *)
 
+val retx_aborts : t -> int
+(** Connections on this stack that aborted because the retransmission
+    limit was exhausted — "gave up", as opposed to recovered after
+    retries or reset by the peer.  Soak runs export this as the Netobs
+    counter [tcp_retx_aborted_total]. *)
+
 val max_retries : int
 (** Consecutive retransmissions of one segment before the connection
     aborts (6). *)

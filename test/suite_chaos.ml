@@ -1,0 +1,440 @@
+(* The chaos soak harness: the invariant oracle (one violating run per
+   invariant), the seeded plan generator, fault-plan JSON round-trips,
+   the delta-debugging shrinker, soak reproducibility, and the TCP
+   gave-up counter. *)
+
+open Netsim
+
+let a = Ipv4_addr.of_string
+let p = Ipv4_addr.Prefix.of_string
+
+let names oracle =
+  List.map
+    (fun v -> v.Invariant.name)
+    (Scenarios.Oracle.violations oracle)
+
+let cell_ie =
+  { Mobileip.Grid.incoming = Mobileip.Grid.In_IE;
+    outgoing = Mobileip.Grid.Out_IE }
+
+(* ---- one violating run per invariant ---- *)
+
+(* An expired binding nobody purges: the lazy table keeps it, the
+   invariant calls it out once the grace passes. *)
+let test_binding_lifetime_violation () =
+  let topo = Scenarios.Topo.build ~mh_lifetime:5 () in
+  Scenarios.Topo.roam_static topo ();
+  let oracle = Scenarios.Oracle.create topo in
+  Scenarios.Oracle.add_binding_lifetime ~grace:1.0 oracle;
+  Scenarios.Oracle.start ~interval:1.0 ~ticks:12 oracle;
+  Scenarios.Topo.run topo;
+  Scenarios.Oracle.finish oracle;
+  Alcotest.(check bool)
+    "binding-lifetime violated" true
+    (List.mem "binding-lifetime" (names oracle))
+
+(* With the purge running the same world stays clean. *)
+let test_binding_lifetime_clean_with_purge () =
+  let topo = Scenarios.Topo.build ~mh_lifetime:5 () in
+  Scenarios.Topo.roam_static topo ();
+  Mobileip.Home_agent.enable_purge topo.Scenarios.Topo.ha ~interval:2.0
+    ~ticks:8 ();
+  let oracle = Scenarios.Oracle.create topo in
+  Scenarios.Oracle.add_binding_lifetime ~grace:3.0 oracle;
+  Scenarios.Oracle.start ~interval:1.0 ~ticks:12 oracle;
+  Scenarios.Topo.run topo;
+  Scenarios.Oracle.finish oracle;
+  Alcotest.(check (list string)) "clean" [] (names oracle)
+
+(* The correspondent learned the care-of address through a channel the
+   mobile host does not track (here: a pre-seeded cache entry), so the
+   withdrawal after a failed registration never reaches it — exactly the
+   stale-cache hazard the invariant exists for. *)
+let test_withdrawal_violation () =
+  let topo =
+    Scenarios.Topo.build ~ch_capability:Mobileip.Correspondent.Mobile_aware
+      ~mh_retry_base:0.2 ~mh_retry_cap:0.4 ~mh_retry_limit:2 ()
+  in
+  Scenarios.Topo.roam_static topo ();
+  let mh = topo.Scenarios.Topo.mh in
+  Alcotest.(check bool)
+    "registered after roam" true
+    (Mobileip.Mobile_host.registered mh);
+  Mobileip.Correspondent.learn_binding topo.Scenarios.Topo.ch
+    ~home:topo.Scenarios.Topo.mh_home_addr
+    ~care_of:(Option.get (Mobileip.Mobile_host.care_of_address mh))
+    ~lifetime:300;
+  Mobileip.Home_agent.crash topo.Scenarios.Topo.ha;
+  let oracle = Scenarios.Oracle.create topo in
+  Scenarios.Oracle.add_withdrawal ~grace:1.0 oracle;
+  Scenarios.Oracle.start ~interval:0.5 ~ticks:30 oracle;
+  Mobileip.Mobile_host.reregister mh ();
+  Scenarios.Topo.run topo;
+  Scenarios.Oracle.finish oracle;
+  Alcotest.(check bool)
+    "registration gave up" true
+    (Mobileip.Mobile_host.registration_failures mh > 0);
+  Alcotest.(check bool)
+    "withdrawal violated" true
+    (List.mem "withdrawal" (names oracle))
+
+(* A sender that does not follow the reference pattern shows up as a
+   stream violation at the monitored receiver. *)
+let test_tcp_stream_violation () =
+  let topo = Scenarios.Topo.build () in
+  let oracle = Scenarios.Oracle.create topo in
+  let pat i = Char.chr (Char.code 'a' + (i mod 26)) in
+  let ch_tcp = Transport.Tcp.get topo.Scenarios.Topo.ch_node in
+  Transport.Tcp.listen ch_tcp ~port:9009 (fun conn ->
+      Scenarios.Oracle.add_tcp_stream ~expected:pat oracle conn);
+  let mh_tcp = Transport.Tcp.get topo.Scenarios.Topo.mh_node in
+  let conn =
+    Transport.Tcp.connect mh_tcp ~dst:topo.Scenarios.Topo.ch_addr
+      ~dst_port:9009 ()
+  in
+  Transport.Tcp.send_data conn (Bytes.of_string "abzz");
+  Scenarios.Topo.run topo;
+  Scenarios.Oracle.check_now oracle;
+  Scenarios.Oracle.finish oracle;
+  Alcotest.(check (list string))
+    "tcp-stream violated" [ "tcp-stream" ] (names oracle)
+
+(* Expired binding, no purge: the proxy-ARP entry stays parked on the
+   home segment with no valid binding behind it. *)
+let test_proxy_arp_violation () =
+  let topo = Scenarios.Topo.build ~mh_lifetime:5 () in
+  Scenarios.Topo.roam_static topo ();
+  let oracle = Scenarios.Oracle.create topo in
+  Scenarios.Oracle.add_proxy_arp ~grace:1.0 oracle;
+  Scenarios.Oracle.start ~interval:1.0 ~ticks:12 oracle;
+  Scenarios.Topo.run topo;
+  Scenarios.Oracle.finish oracle;
+  Alcotest.(check bool)
+    "proxy-arp-purge violated" true
+    (List.mem "proxy-arp-purge" (names oracle))
+
+(* Pinning a method the selector has recorded as failed is exactly what
+   the discipline invariant forbids. *)
+let test_selector_discipline_violation () =
+  let topo = Scenarios.Topo.build () in
+  Scenarios.Topo.roam_static topo ();
+  let mh = topo.Scenarios.Topo.mh in
+  let sel = Mobileip.Selector.create Mobileip.Selector.Conservative_first in
+  Mobileip.Mobile_host.set_selector mh (Some sel);
+  let dst = topo.Scenarios.Topo.ch_addr in
+  for _ = 1 to 4 do
+    Mobileip.Selector.report sel ~dst Mobileip.Selector.Original_received
+  done;
+  for _ = 1 to 2 do
+    Mobileip.Selector.report sel ~dst
+      Mobileip.Selector.Retransmission_detected
+  done;
+  Alcotest.(check bool)
+    "Out-DE recorded failed" true
+    (List.exists
+       (Mobileip.Grid.equal_out Mobileip.Grid.Out_DE)
+       (Mobileip.Selector.failed_methods sel ~dst));
+  let oracle = Scenarios.Oracle.create topo in
+  Scenarios.Oracle.add_selector_discipline oracle;
+  Scenarios.Oracle.check_now oracle;
+  Alcotest.(check (list string)) "clean before the pin" [] (names oracle);
+  Mobileip.Mobile_host.pin_method mh ~dst (Some Mobileip.Grid.Out_DE);
+  Scenarios.Oracle.check_now oracle;
+  Scenarios.Oracle.finish oracle;
+  Alcotest.(check bool)
+    "selector-discipline violated" true
+    (List.mem "selector-discipline" (names oracle))
+
+(* The home agent never comes back and the retry/renewal budgets run
+   out: the host ends the run away and unregistered. *)
+let test_eventual_recovery_violation () =
+  let topo =
+    Scenarios.Topo.build ~mh_lifetime:5 ~mh_retry_base:0.2 ~mh_retry_cap:0.4
+      ~mh_retry_limit:2 ()
+  in
+  Scenarios.Topo.roam_static topo ();
+  Mobileip.Mobile_host.enable_keepalive topo.Scenarios.Topo.mh ~margin:2.0
+    ~max_renewals:2 ();
+  Mobileip.Home_agent.crash topo.Scenarios.Topo.ha;
+  let oracle = Scenarios.Oracle.create topo in
+  Scenarios.Oracle.add_recovery ~after:0.0 oracle;
+  Scenarios.Topo.run topo;
+  Scenarios.Oracle.finish oracle;
+  Alcotest.(check bool)
+    "still unregistered" false
+    (Mobileip.Mobile_host.registered topo.Scenarios.Topo.mh);
+  Alcotest.(check bool)
+    "eventual-recovery violated" true
+    (List.mem "eventual-recovery" (names oracle))
+
+(* A healthy world under the full standard set stays clean. *)
+let test_healthy_world_clean () =
+  let topo = Scenarios.Topo.build ~mh_lifetime:10 () in
+  Scenarios.Topo.roam_static topo ();
+  Mobileip.Mobile_host.enable_keepalive topo.Scenarios.Topo.mh ~margin:5.0
+    ~max_renewals:4 ();
+  Mobileip.Home_agent.enable_purge topo.Scenarios.Topo.ha ~interval:5.0
+    ~ticks:8 ();
+  let oracle = Scenarios.Oracle.create topo in
+  Scenarios.Oracle.install_standard ~recovery_after:0.0 oracle;
+  Scenarios.Oracle.start ~interval:1.0 ~ticks:30 oracle;
+  Scenarios.Topo.run topo;
+  Scenarios.Oracle.finish oracle;
+  Alcotest.(check (list string)) "no violations" [] (names oracle);
+  Alcotest.(check bool)
+    "checks actually ran" true
+    (Invariant.checks_run (Scenarios.Oracle.inv oracle) > 50)
+
+(* ---- the generator ---- *)
+
+let qbudget =
+  {
+    Chaos.events = 6;
+    horizon = 30.0;
+    links = [ "l1"; "l2" ];
+    cuts = [ ([ "a" ], [ "b" ]) ];
+    actions = [ ("ha_outage", [ "2.0"; "3.0" ]); ("mh_move", [ "a"; "b" ]) ];
+    max_window = 5.0;
+    max_extra_latency = 0.5;
+  }
+
+let prop_generate_deterministic =
+  QCheck.Test.make ~name:"Chaos.generate is a pure function of the seed"
+    ~count:200
+    QCheck.(0 -- 1_000_000)
+    (fun seed ->
+      Chaos.generate ~seed qbudget = Chaos.generate ~seed qbudget)
+
+let prop_generate_respects_budget =
+  QCheck.Test.make ~name:"generated plans respect their budget" ~count:200
+    QCheck.(0 -- 1_000_000)
+    (fun seed ->
+      let plan = Chaos.generate ~seed qbudget in
+      List.length plan.Fault.events = qbudget.Chaos.events
+      && List.for_all
+           (fun e ->
+             Fault.event_start e >= 0.0
+             && Fault.event_end e <= qbudget.Chaos.horizon
+             &&
+             match e with
+             | Fault.Flap { link; down; up } ->
+                 List.mem link qbudget.Chaos.links && down < up
+             | Fault.Partition { a; b; _ } ->
+                 List.mem (a, b) qbudget.Chaos.cuts
+             | Fault.Latency_spike { link; extra; _ } ->
+                 List.mem link qbudget.Chaos.links
+                 && extra > 0.0
+                 && extra <= 0.05 +. qbudget.Chaos.max_extra_latency
+             | Fault.Duplicate { rate; _ } -> rate >= 0.05 && rate <= 0.45
+             | Fault.Reorder { rate; max_extra; _ } ->
+                 rate >= 0.05 && rate <= 0.45 && max_extra > 0.0
+             | Fault.Action { kind; arg; _ } -> (
+                 match List.assoc_opt kind qbudget.Chaos.actions with
+                 | Some args -> List.mem arg args
+                 | None -> false))
+           plan.Fault.events)
+
+let prop_plan_json_roundtrip =
+  QCheck.Test.make ~name:"fault-plan JSON round-trips exactly" ~count:200
+    QCheck.(0 -- 1_000_000)
+    (fun seed ->
+      let plan = Chaos.generate ~seed qbudget in
+      match Fault.plan_of_string (Fault.plan_to_string plan) with
+      | Ok plan' -> plan = plan'
+      | Error _ -> false)
+
+let test_generate_empty_candidates () =
+  (* No links, cuts or actions: only duplication/reordering can appear. *)
+  let b = { Chaos.default_budget with Chaos.events = 10 } in
+  let plan = Chaos.generate ~seed:7 b in
+  Alcotest.(check bool)
+    "only windowed frame effects" true
+    (List.for_all
+       (function
+         | Fault.Duplicate _ | Fault.Reorder _ -> true
+         | _ -> false)
+       plan.Fault.events)
+
+(* ---- the shrinker, pure ddmin behaviour ---- *)
+
+let test_ddmin_single_trigger () =
+  let mk k =
+    Fault.Duplicate
+      { from_ = float_of_int k; until = float_of_int k +. 1.0; rate = 0.1 }
+  in
+  let events = List.init 8 mk in
+  let plan = { Fault.seed = 1; events } in
+  let target = List.nth events 5 in
+  let still_failing p = List.mem target p.Fault.events in
+  let shrunk, replays = Chaos.shrink ~still_failing plan in
+  Alcotest.(check int) "one event left" 1 (List.length shrunk.Fault.events);
+  Alcotest.(check bool)
+    "kept the trigger" true
+    (List.mem target shrunk.Fault.events);
+  Alcotest.(check bool) "replays counted" true (replays > 0);
+  (* A two-event dependency shrinks to exactly those two. *)
+  let t2 = List.nth events 2 in
+  let still2 p = List.mem target p.Fault.events && List.mem t2 p.Fault.events in
+  let shrunk2, _ = Chaos.shrink ~still_failing:still2 plan in
+  Alcotest.(check int) "two events left" 2 (List.length shrunk2.Fault.events);
+  Alcotest.(check bool)
+    "kept both" true
+    (List.mem target shrunk2.Fault.events && List.mem t2 shrunk2.Fault.events)
+
+(* ---- shrinker + soak end to end ---- *)
+
+let harsh = Experiments.Soak.harsh
+
+let test_shrink_deterministic_and_minimal () =
+  let plan =
+    Experiments.Soak.generate_plan ~profile:harsh ~cell:cell_ie ~seed:0 ()
+  in
+  let outcome =
+    Experiments.Soak.replay ~profile:harsh ~cell:cell_ie ~seed:0 plan
+  in
+  Alcotest.(check bool)
+    "seed 0 violates under the harsh profile" true
+    (outcome.Experiments.Soak.violations <> []);
+  let s1, r1 =
+    Experiments.Soak.shrink_plan ~profile:harsh ~cell:cell_ie ~seed:0 plan
+      outcome
+  in
+  let s2, r2 =
+    Experiments.Soak.shrink_plan ~profile:harsh ~cell:cell_ie ~seed:0 plan
+      outcome
+  in
+  Alcotest.(check bool) "same minimal plan both times" true (s1 = s2);
+  Alcotest.(check int) "same replay count" r1 r2;
+  Alcotest.(check bool)
+    "strictly smaller" true
+    (List.length s1.Fault.events < List.length plan.Fault.events);
+  let o' = Experiments.Soak.replay ~profile:harsh ~cell:cell_ie ~seed:0 s1 in
+  Alcotest.(check bool)
+    "minimal plan still violates the same invariants" true
+    (List.for_all
+       (fun n -> List.mem n (Experiments.Soak.violated_names o'))
+       (Experiments.Soak.violated_names outcome))
+
+let test_soak_reproducible () =
+  let sweep () =
+    Experiments.Soak.run ~profile:harsh ~seed_lo:0 ~seed_hi:0
+      ~cells:[ cell_ie ] ()
+  in
+  let r1 = sweep () in
+  let r2 = sweep () in
+  Alcotest.(check int)
+    "one finding" 1
+    (List.length r1.Experiments.Soak.findings);
+  let f1 = List.hd r1.Experiments.Soak.findings in
+  let f2 = List.hd r2.Experiments.Soak.findings in
+  Alcotest.(check bool)
+    "identical plan, shrink and repro JSON" true
+    (f1.Experiments.Soak.f_plan = f2.Experiments.Soak.f_plan
+    && f1.Experiments.Soak.f_shrunk = f2.Experiments.Soak.f_shrunk
+    && Experiments.Soak.repro_to_string ~seed:0 ~cell:cell_ie
+         f1.Experiments.Soak.f_shrunk
+       = Experiments.Soak.repro_to_string ~seed:0 ~cell:cell_ie
+           f2.Experiments.Soak.f_shrunk)
+
+let test_repro_roundtrip_with_annotations () =
+  let plan =
+    Experiments.Soak.generate_plan ~profile:harsh ~cell:cell_ie ~seed:3 ()
+  in
+  let s = Experiments.Soak.repro_to_string ~seed:3 ~cell:cell_ie plan in
+  (match Experiments.Soak.repro_of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok (plan', seed, cell) ->
+      Alcotest.(check bool) "plan survives" true (plan = plan');
+      Alcotest.(check (option int)) "seed annotation" (Some 3) seed;
+      Alcotest.(check bool)
+        "cell annotation" true
+        (cell = Some cell_ie));
+  (* the annotated file is still a plain plan for Fault *)
+  match Fault.plan_of_string s with
+  | Ok plan' -> Alcotest.(check bool) "plain plan load" true (plan = plan')
+  | Error e -> Alcotest.fail e
+
+let test_gentle_ci_range_clean () =
+  let r =
+    Experiments.Soak.run ~seed_lo:0 ~seed_hi:1 ~cells:[ cell_ie ] ()
+  in
+  Alcotest.(check int) "no findings" 0 (List.length r.Experiments.Soak.findings);
+  Alcotest.(check bool)
+    "checks ran" true
+    (r.Experiments.Soak.total_checks > 0)
+
+(* ---- the TCP gave-up counter ---- *)
+
+let test_tcp_retx_abort_counter () =
+  let net = Net.create () in
+  let s = Net.add_host net "s" in
+  let d = Net.add_host net "d" in
+  let _ =
+    Net.p2p net ~latency:0.01 ~prefix:(p "10.0.0.0/30")
+      (s, "if0", a "10.0.0.1") (d, "if0", a "10.0.0.2")
+  in
+  let tcp_d = Transport.Tcp.get d in
+  Transport.Tcp.listen tcp_d ~port:9 (fun _ -> ());
+  let tcp_s = Transport.Tcp.get s in
+  (* An RST abort (nobody on port 777) must not count as a give-up. *)
+  let rst_conn =
+    Transport.Tcp.connect tcp_s ~dst:(a "10.0.0.2") ~dst_port:777 ()
+  in
+  let conn = Transport.Tcp.connect tcp_s ~dst:(a "10.0.0.2") ~dst_port:9 () in
+  let fault = Fault.attach net in
+  Fault.link_down fault ~at:1.0 ~link:"s<->d";
+  Engine.schedule (Net.engine net) ~at:2.0 (fun () ->
+      Transport.Tcp.send_data conn (Bytes.of_string "doomed"));
+  Net.run net;
+  Alcotest.(check bool)
+    "rst abort" true
+    (Transport.Tcp.state rst_conn = Transport.Tcp.Aborted);
+  Alcotest.(check bool)
+    "retx abort" true
+    (Transport.Tcp.state conn = Transport.Tcp.Aborted);
+  Alcotest.(check int)
+    "one give-up on the sender" 1
+    (Transport.Tcp.retx_aborts tcp_s);
+  Alcotest.(check int)
+    "none on the receiver" 0
+    (Transport.Tcp.retx_aborts tcp_d)
+
+let suites =
+  [
+    ( "chaos",
+      [
+        Alcotest.test_case "invariant: binding lifetime" `Quick
+          test_binding_lifetime_violation;
+        Alcotest.test_case "invariant: binding lifetime clean with purge"
+          `Quick test_binding_lifetime_clean_with_purge;
+        Alcotest.test_case "invariant: withdrawal" `Quick
+          test_withdrawal_violation;
+        Alcotest.test_case "invariant: tcp stream" `Quick
+          test_tcp_stream_violation;
+        Alcotest.test_case "invariant: proxy arp purge" `Quick
+          test_proxy_arp_violation;
+        Alcotest.test_case "invariant: selector discipline" `Quick
+          test_selector_discipline_violation;
+        Alcotest.test_case "invariant: eventual recovery" `Quick
+          test_eventual_recovery_violation;
+        Alcotest.test_case "healthy world stays clean" `Quick
+          test_healthy_world_clean;
+        QCheck_alcotest.to_alcotest prop_generate_deterministic;
+        QCheck_alcotest.to_alcotest prop_generate_respects_budget;
+        QCheck_alcotest.to_alcotest prop_plan_json_roundtrip;
+        Alcotest.test_case "generator: empty candidate lists" `Quick
+          test_generate_empty_candidates;
+        Alcotest.test_case "ddmin: single and paired triggers" `Quick
+          test_ddmin_single_trigger;
+        Alcotest.test_case "shrink: deterministic and minimal" `Quick
+          test_shrink_deterministic_and_minimal;
+        Alcotest.test_case "soak: reproducible sweep" `Quick
+          test_soak_reproducible;
+        Alcotest.test_case "soak: repro file round-trip" `Quick
+          test_repro_roundtrip_with_annotations;
+        Alcotest.test_case "soak: gentle CI range is clean" `Quick
+          test_gentle_ci_range_clean;
+        Alcotest.test_case "tcp: retx-abort counter" `Quick
+          test_tcp_retx_abort_counter;
+      ] );
+  ]
