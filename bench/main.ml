@@ -24,18 +24,76 @@ let sample_packet =
 let sample_wire = Netsim.Ipv4_packet.encode sample_packet
 let buffer_1500 = Bytes.make 1500 '\042'
 
-let routing_table =
+let make_routing_table n =
   let table = Netsim.Routing.create () in
-  for i = 0 to 99 do
+  for i = 0 to n - 1 do
     Netsim.Routing.add table
       ~prefix:
         (Netsim.Ipv4_addr.Prefix.make
-           (Netsim.Ipv4_addr.of_octets 10 (i mod 256) 0 0)
+           (Netsim.Ipv4_addr.of_octets 10 (i mod 256) ((i / 256) mod 256) 0)
            (16 + (i mod 9)))
       ~iface:(Printf.sprintf "if%d" (i mod 4))
       ()
   done;
   table
+
+let routing_table = make_routing_table 100
+let routing_table_10 = make_routing_table 10
+let routing_table_1k = make_routing_table 1000
+
+(* Destinations cycled per call so these cases measure the trie walk, not
+   the one-entry destination cache (which the constant-address
+   100-route case above deliberately hits). *)
+let probe_addrs =
+  Array.init 16 (fun i ->
+      Netsim.Ipv4_addr.of_octets 10 (17 * i mod 256) 3 9)
+
+let cycled_lookup table =
+  let i = ref 0 in
+  fun () ->
+    i := (!i + 1) land 15;
+    Netsim.Routing.lookup table (Array.unsafe_get probe_addrs !i)
+
+(* One A --(r)-- B world reused across runs: each run pushes a packet
+   from [a] through the router to [b] and drains the queue — the per-hop
+   forwarding fast path (lookup, TTL decrement, incremental checksum,
+   emit) with tracing gated off. *)
+let forward_world =
+  lazy
+    (let net = Netsim.Net.create () in
+     let a = Netsim.Net.add_host net "a" in
+     let r = Netsim.Net.add_router net "r" in
+     let b = Netsim.Net.add_host net "b" in
+     let _ =
+       Netsim.Net.p2p net ~latency:0.0001
+         ~prefix:(Netsim.Ipv4_addr.Prefix.of_string "10.0.1.0/30")
+         (a, "if0", addr "10.0.1.1")
+         (r, "if0", addr "10.0.1.2")
+     in
+     let _ =
+       Netsim.Net.p2p net ~latency:0.0001
+         ~prefix:(Netsim.Ipv4_addr.Prefix.of_string "10.0.2.0/30")
+         (r, "if1", addr "10.0.2.1")
+         (b, "if0", addr "10.0.2.2")
+     in
+     Netsim.Routing.add_default (Netsim.Net.routing a)
+       ~gateway:(addr "10.0.1.2") ~iface:"if0";
+     Netsim.Routing.add_default (Netsim.Net.routing b)
+       ~gateway:(addr "10.0.2.1") ~iface:"if0";
+     Netsim.Net.set_tracing net false;
+     (net, a))
+
+let forward_pkt =
+  Netsim.Ipv4_packet.make ~protocol:Netsim.Ipv4_packet.P_udp
+    ~src:(addr "10.0.1.1") ~dst:(addr "10.0.2.2")
+    (Netsim.Ipv4_packet.Raw (Bytes.make 512 'h'))
+
+let forwarding_hop () =
+  let net, a = Lazy.force forward_world in
+  ignore (Netsim.Net.send a forward_pkt);
+  Netsim.Net.run net
+
+let header_csum = Netsim.Ipv4_packet.header_checksum sample_packet
 
 let grid_env =
   {
@@ -59,6 +117,7 @@ let tunnel_ping () =
   (* A complete simulated In-IE ping: build the world, roam, ping through
      the home agent.  Measures end-to-end simulator throughput. *)
   let topo = Scenarios.Topo.build () in
+  Netsim.Net.set_tracing topo.Scenarios.Topo.net false;
   Scenarios.Topo.roam topo ();
   let icmp = Transport.Icmp_service.get topo.Scenarios.Topo.ch_node in
   let got = ref false in
@@ -67,9 +126,12 @@ let tunnel_ping () =
   Scenarios.Topo.run topo;
   assert !got
 
+let tcp_payload = Bytes.make 8192 'b'
+
 let tcp_transfer ~window () =
   (* An 8 kB windowed TCP transfer over a 50 ms link, in simulation. *)
   let net = Netsim.Net.create () in
+  Netsim.Net.set_tracing net false;
   let c = Netsim.Net.add_host net "c" in
   let s = Netsim.Net.add_host net "s" in
   let _ =
@@ -83,7 +145,7 @@ let tcp_transfer ~window () =
   Transport.Tcp.listen ts ~port:80 (fun conn ->
       Transport.Tcp.on_receive conn (fun d -> got := !got + Bytes.length d));
   let conn = Transport.Tcp.connect tc ~window ~dst:(addr "10.0.0.2") ~dst_port:80 () in
-  Transport.Tcp.send_data conn (Bytes.make 8192 'b');
+  Transport.Tcp.send_data conn tcp_payload;
   Netsim.Net.run net;
   assert (!got = 8192)
 
@@ -109,6 +171,18 @@ let micro_tests =
       Test.make ~name:"routing-lpm-100-routes"
         (Staged.stage (fun () ->
              Netsim.Routing.lookup routing_table (addr "10.57.3.9")));
+      Test.make ~name:"routing-lpm-10-routes"
+        (Staged.stage (cycled_lookup routing_table_10));
+      Test.make ~name:"routing-lpm-1k-routes"
+        (Staged.stage (cycled_lookup routing_table_1k));
+      Test.make ~name:"checksum-header-full"
+        (Staged.stage (fun () ->
+             Netsim.Ipv4_packet.header_checksum sample_packet));
+      Test.make ~name:"checksum-header-incremental"
+        (Staged.stage (fun () ->
+             Netsim.Ipv4_packet.decrement_ttl_checksum ~checksum:header_csum
+               sample_packet));
+      Test.make ~name:"forwarding-hop" (Staged.stage forwarding_hop);
       Test.make ~name:"grid-best-cell"
         (Staged.stage (fun () -> Mobileip.Grid.best grid_env));
       Test.make ~name:"registration-roundtrip"
@@ -132,8 +206,54 @@ let run_micro ~quota () =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  (* A short discarded warmup pass first, so the measured pass does not
+     fit its line through cold-cache/GC-ramp samples. *)
+  let warmup =
+    Benchmark.cfg ~limit:40 ~quota:(Time.second 0.02)
+      ~sampling:(`Linear 1) ~kde:None ()
+  in
+  ignore (Benchmark.all warmup instances micro_tests);
+  (* Geometric batch growth at 5%/sample spreads the per-sample iteration
+     counts over orders of magnitude within the quota, giving the OLS fit
+     real leverage at both ends: nanosecond-scale subjects end in
+     large-iteration batches (amortising clock-read noise) while the slow
+     simulation cases still collect dozens of distinct batch sizes (the
+     default near-constant growth gave them degenerate fits, r^2 near or
+     below zero). *)
+  let cfg =
+    Benchmark.cfg ~limit:3000 ~quota:(Time.second quota)
+      ~sampling:(`Geometric 1.05) ~stabilize:true ~compaction:false ~kde:None
+      ()
+  in
   let raw = Benchmark.all cfg instances micro_tests in
+  (* Containers hiccup: a scheduler preemption lands a multi-millisecond
+     spike in a handful of samples, which a plain least-squares fit has no
+     defence against (it hits the ~100 us simulation cases hardest, where
+     batches are small).  Drop samples whose per-run time exceeds 3x the
+     median per-run time before fitting; genuine cost growth stays (the
+     median moves with it), only isolated spikes go. *)
+  let clock_label = Measure.label Instance.monotonic_clock in
+  let trim (b : Benchmark.t) =
+    let rate m =
+      Measurement_raw.get ~label:clock_label m /. Measurement_raw.run m
+    in
+    let sorted = Array.map rate b.Benchmark.lr in
+    Array.sort compare sorted;
+    if Array.length sorted = 0 then b
+    else begin
+      let median = sorted.(Array.length sorted / 2) in
+      let keep =
+        Array.of_seq
+          (Seq.filter
+             (fun m -> rate m <= 3.0 *. median)
+             (Array.to_seq b.Benchmark.lr))
+      in
+      if Array.length keep >= 8 then { b with Benchmark.lr = keep } else b
+    end
+  in
+  Hashtbl.iter
+    (fun name b -> Hashtbl.replace raw name (trim b))
+    (Hashtbl.copy raw);
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
@@ -199,14 +319,21 @@ let write_json rows =
 let () =
   let has flag = Array.exists (fun a -> a = flag) Sys.argv in
   let only_micro = has "--micro-only" in
-  (* --json-only: the CI smoke path — a short measurement quota, no
-     experiment tables, results still written to BENCH_results.json. *)
+  (* --json-only: the CI smoke path — no experiment tables, results
+     written to BENCH_results.json only.  It uses the same measurement
+     quota as interactive runs: anything shorter starves the tiny
+     (sub-100ns) cases of samples and the OLS fits degrade below the
+     point where the regression gate's threshold is meaningful. *)
   let json_only = has "--json-only" in
-  if not (only_micro || json_only) then begin
-    Format.printf "Internet Mobility 4x4 - experiment reproduction@.";
-    Experiments.Registry.run_all Format.std_formatter
-  end;
-  let rows = run_micro ~quota:(if json_only then 0.05 else 0.5) () in
+  (* Micro-benchmarks run before the experiment tables: Bechamel's
+     per-sample GC stabilization (a Gc.compact loop inside the quota
+     window) slows with heap size, and the experiments grow the heap
+     enough that every case would burn its whole quota on one sample. *)
+  let rows = run_micro ~quota:2.0 () in
   if not json_only then print_micro rows;
   write_json rows;
+  if not (only_micro || json_only) then begin
+    Format.printf "@.Internet Mobility 4x4 - experiment reproduction@.";
+    Experiments.Registry.run_all Format.std_formatter
+  end;
   Format.printf "@.done.@."

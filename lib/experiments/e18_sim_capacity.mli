@@ -1,0 +1,6 @@
+(** E18 — simulator capacity: N concurrent UDP request/response flows
+    across the standard roamed world with per-packet tracing gated off,
+    reporting end-to-end packets/sec and engine events/sec (published via
+    a {!Netobs.Metrics} registry). *)
+
+val run : unit -> Table.t

@@ -18,6 +18,8 @@ let all =
      E15_internet_load.run);
     ("E16", "Handover churn under fault injection", E16_handover_churn.run);
     ("E17", "Chaos soak under the invariant oracle", E17_chaos_soak.run);
+    ("E18", "Simulator capacity: packets/sec under concurrent load",
+     E18_sim_capacity.run);
     ("A1", "Section 4 ablation: source routing vs encapsulation",
      A01_source_routing.run);
     ("A2", "Sections 2/3.3 ablation: encapsulation formats",

@@ -90,7 +90,8 @@ let own_address t =
 
 let record_encap t outer =
   t.encapsulated <- t.encapsulated + 1;
-  Trace.record
+  if Trace.interested (Net.trace (Net.node_net t.ch_node)) then
+    Trace.record
     (Net.trace (Net.node_net t.ch_node))
     ~time:(Net.node_now t.ch_node)
     (Trace.Encapsulate
@@ -153,7 +154,8 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
     | None -> false
     | Some (_, inner) ->
         t.decapsulated <- t.decapsulated + 1;
-        Trace.record
+        if Trace.interested (Net.trace (Net.node_net t.ch_node)) then
+          Trace.record
           (Net.trace (Net.node_net t.ch_node))
           ~time:(Net.node_now t.ch_node)
           (Trace.Decapsulate

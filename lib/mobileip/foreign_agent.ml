@@ -97,7 +97,8 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
         | None -> false
         | Some mac ->
             t.delivered <- t.delivered + 1;
-            Trace.record
+            if Trace.interested (Net.trace (Net.node_net t.fa_node)) then
+              Trace.record
               (Net.trace (Net.node_net t.fa_node))
               ~time:(Net.node_now t.fa_node)
               (Trace.Decapsulate

@@ -221,7 +221,8 @@ let relay_multicast t ~flow (pkt : Ipv4_packet.t) =
               ~ident:(tunnel_ident t) pkt
           in
           t.mcast_relayed <- t.mcast_relayed + 1;
-          Trace.record
+          if Trace.interested (Net.trace (Net.node_net t.ha_node)) then
+            Trace.record
             (Net.trace (Net.node_net t.ha_node))
             ~time:(Net.node_now t.ha_node)
             (Trace.Encapsulate
@@ -245,7 +246,8 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
           ~ident:(tunnel_ident t) pkt
       in
       t.tunneled <- t.tunneled + 1;
-      Trace.record (Net.trace (Net.node_net t.ha_node))
+      if Trace.interested (Net.trace (Net.node_net t.ha_node)) then
+        Trace.record (Net.trace (Net.node_net t.ha_node))
         ~time:(Net.node_now t.ha_node)
         (Trace.Encapsulate
            {
@@ -268,7 +270,8 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
                 false
             | Some _ ->
                 t.reverse_tunneled <- t.reverse_tunneled + 1;
-                Trace.record
+                if Trace.interested (Net.trace (Net.node_net t.ha_node)) then
+                  Trace.record
                   (Net.trace (Net.node_net t.ha_node))
                   ~time:(Net.node_now t.ha_node)
                   (Trace.Decapsulate

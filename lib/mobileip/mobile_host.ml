@@ -128,7 +128,8 @@ let fresh_tunnel_ident t =
 
 let record_encap t outer =
   t.encapsulated <- t.encapsulated + 1;
-  Trace.record
+  if Trace.interested (Net.trace (Net.node_net t.mh_node)) then
+    Trace.record
     (Net.trace (Net.node_net t.mh_node))
     ~time:(Net.node_now t.mh_node)
     (Trace.Encapsulate
@@ -212,7 +213,8 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
         | None -> false
         | Some (_, inner) ->
             t.decapsulated <- t.decapsulated + 1;
-            Trace.record
+            if Trace.interested (Net.trace (Net.node_net t.mh_node)) then
+              Trace.record
               (Net.trace (Net.node_net t.mh_node))
               ~time:(Net.node_now t.mh_node)
               (Trace.Decapsulate
@@ -377,7 +379,7 @@ let configure_away t ~care_of ~prefix ~gateway ?(on_registered = fun _ -> ())
   Net.set_iface_addr t.iface ~addr:care_of ~prefix;
   let table = Net.routing t.mh_node in
   (* Replace any default route left over from the previous attachment. *)
-  Routing.remove table ~prefix:Ipv4_addr.Prefix.global;
+  Routing.remove table ~prefix:Ipv4_addr.Prefix.global ();
   Routing.add_default table ~gateway ~iface:(Net.iface_name t.iface);
   t.loc <- Away { care_of; gateway };
   t.is_registered <- false;
@@ -404,7 +406,7 @@ let move_to_foreign_agent t segment ~fa_addr ?(on_registered = fun _ -> ())
   Net.set_iface_addr t.iface ~addr:t.home
     ~prefix:(Ipv4_addr.Prefix.make t.home 32);
   let table = Net.routing t.mh_node in
-  Routing.remove table ~prefix:Ipv4_addr.Prefix.global;
+  Routing.remove table ~prefix:Ipv4_addr.Prefix.global ();
   Routing.add table ~prefix:(Ipv4_addr.Prefix.make fa_addr 32)
     ~iface:(Net.iface_name t.iface) ();
   Routing.add_default table ~gateway:fa_addr ~iface:(Net.iface_name t.iface);
@@ -443,7 +445,7 @@ let settle_at_home t ?(on_deregistered = fun _ -> ()) () =
   t.keepalive_generation <- t.keepalive_generation + 1;
   Net.set_iface_addr t.iface ~addr:t.home ~prefix:t.home_prefix;
   let table = Net.routing t.mh_node in
-  Routing.remove table ~prefix:Ipv4_addr.Prefix.global;
+  Routing.remove table ~prefix:Ipv4_addr.Prefix.global ();
   (match t.home_gateway with
   | Some (gateway, iface) -> Routing.add_default table ~gateway ~iface
   | None -> ());

@@ -1,4 +1,5 @@
-(** The Internet checksum (RFC 1071).
+(** The Internet checksum (RFC 1071), with word-at-a-time summing and
+    RFC 1624 incremental updates.
 
     Used by the IPv4 header ({!Ipv4_packet}), ICMP ({!Icmp_wire}) and, with a
     pseudo-header, by UDP and TCP ({!Udp_wire}, {!Tcp_wire}). *)
@@ -7,7 +8,12 @@ val ones_complement_sum : ?initial:int -> Bytes.t -> int -> int -> int
 (** [ones_complement_sum ?initial buf off len] folds the 16-bit one's
     complement sum of [len] bytes of [buf] starting at [off] into [initial]
     (default 0).  A trailing odd byte is padded with zero, as the RFC
-    specifies.  The result is a 16-bit partial sum, not yet complemented. *)
+    specifies.  The result is a 16-bit partial sum, not yet complemented.
+
+    The sum is carried eight bytes at a time (the one's complement sum is
+    associative modulo [0xffff], so wider words fold to the same value);
+    bounds are checked once here, not per byte.
+    @raise Invalid_argument if the range is outside the buffer. *)
 
 val finish : int -> int
 (** One's-complement the partial sum, yielding the checksum field value. *)
@@ -17,6 +23,15 @@ val compute : Bytes.t -> int
 
 val compute_sub : Bytes.t -> int -> int -> int
 (** Checksum of a sub-range of a buffer. *)
+
+val incremental_update : checksum:int -> old_word:int -> new_word:int -> int
+(** [incremental_update ~checksum ~old_word ~new_word] is the checksum of
+    a buffer after one aligned 16-bit word changes from [old_word] to
+    [new_word], given the buffer's previous [checksum] — RFC 1624's
+    [HC' = ~(~HC + ~m + m')], which routers use to rewrite the header
+    checksum on a TTL decrement without re-summing the header.  All three
+    arguments must be 16-bit values.
+    @raise Invalid_argument otherwise. *)
 
 val pseudo_header_sum :
   src:Ipv4_addr.t -> dst:Ipv4_addr.t -> protocol:int -> length:int -> int

@@ -183,6 +183,46 @@ and encode t =
   Bytes.blit body 0 buf hlen (Bytes.length body);
   buf
 
+(* The checksum [encode] would emit for this packet's header, computed
+   field-wise without serialising.  Sums the same 16-bit words as
+   [Checksum.compute_sub buf 0 hlen] with the checksum field zero. *)
+let header_checksum t =
+  let hlen = header_length t in
+  let addr_sum a =
+    let x = Ipv4_addr.to_int32 a in
+    (Int32.to_int (Int32.shift_right_logical x 16) land 0xffff)
+    + (Int32.to_int x land 0xffff)
+  in
+  let flags =
+    (if t.dont_fragment then 0x4000 else 0)
+    lor (if t.more_fragments then 0x2000 else 0)
+    lor (t.frag_offset land 0x1fff)
+  in
+  let sum =
+    ref
+      (((((4 lsl 4) lor (hlen / 4)) lsl 8) lor t.tos)
+      + byte_length t + t.ident + flags
+      + ((t.ttl lsl 8) lor protocol_to_int t.protocol)
+      + addr_sum t.src + addr_sum t.dst)
+  in
+  let n = Bytes.length t.options in
+  let i = ref 0 in
+  while !i < n do
+    sum := !sum + get_u16 t.options !i;
+    i := !i + 2
+  done;
+  Checksum.finish !sum
+
+(* RFC 1624: a TTL decrement rewrites only the TTL/protocol word, so the
+   header checksum of the decremented packet follows from the old one
+   without re-summing the header.  [checksum] must be [header_checksum]
+   of [t] *before* the decrement. *)
+let decrement_ttl_checksum ~checksum t =
+  let proto = protocol_to_int t.protocol in
+  Checksum.incremental_update ~checksum
+    ~old_word:((t.ttl lsl 8) lor proto)
+    ~new_word:(((t.ttl - 1) lsl 8) lor proto)
+
 let is_fragment t = t.more_fragments || t.frag_offset > 0
 
 let rec decode_payload ~outer body =

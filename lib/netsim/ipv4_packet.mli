@@ -106,6 +106,18 @@ val reparse_payload : t -> t
 val decrement_ttl : t -> t option
 (** [None] when the TTL reaches zero. *)
 
+val header_checksum : t -> int
+(** The header checksum [encode] would emit for this packet, computed
+    field-wise without serialising — equal to the 16-bit value at offset
+    10 of [encode t]. *)
+
+val decrement_ttl_checksum : checksum:int -> t -> int
+(** [decrement_ttl_checksum ~checksum t] is [header_checksum] of [t] with
+    its TTL one lower, derived from [checksum] (the pre-decrement header
+    checksum) by RFC 1624 incremental update — the forwarding fast path,
+    no per-field re-summing.
+    @raise Invalid_argument if [checksum] is not a 16-bit value. *)
+
 val is_fragment : t -> bool
 
 val equal : t -> t -> bool

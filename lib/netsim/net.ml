@@ -75,6 +75,10 @@ and frame = {
   content : content;
   l2_src : Mac_addr.t;
   l2_dst : Mac_addr.t;
+  csum : int;
+      (* Header checksum of the IP packet in [content], computed once at
+         origin and updated incrementally (RFC 1624) at each forwarding
+         hop; -1 when not computed (ARP, locally injected frames). *)
 }
 
 and content = Ip of Ipv4_packet.t | Arp_msg of arp
@@ -106,6 +110,13 @@ let create () =
   }
 
 let set_fault_hook t f = t.fault_hook <- f
+
+(* When on, every forwarding hop cross-checks the RFC 1624 incremental
+   checksum against a full field-wise recompute.  Global (not per-world):
+   it guards an algorithm, not a topology. *)
+let checksum_debug = ref false
+let set_checksum_debug b = checksum_debug := b
+let set_tracing t b = Trace.set_enabled t.trace b
 
 let engine t = t.engine
 let trace t = t.trace
@@ -254,7 +265,9 @@ let iface_node i = i.owner
 let iface_up i = i.up
 
 let set_iface_addr i ~addr ~prefix =
-  Routing.remove i.owner.table ~prefix:i.prefix;
+  (* Only this interface's connected route: another iface may legitimately
+     hold a route for the same prefix. *)
+  Routing.remove i.owner.table ~iface:i.ifname ~prefix:i.prefix ();
   i.addr <- addr;
   i.prefix <- prefix;
   install_connected_route i
@@ -362,6 +375,10 @@ let frame_info (f : frame) pkt : Trace.frame_info =
 
 let record node event = Trace.record node.net.trace ~time:(now node.net) event
 
+(* Checked before building any trace event: when false, the per-hop
+   fast path skips [frame_info]/event allocation entirely. *)
+let tracing node = Trace.interested node.net.trace
+
 let same_segment a b =
   List.exists
     (fun ia ->
@@ -403,14 +420,16 @@ and emit out frame =
         | Ptp l -> l.ptp_name
         | Detached -> "detached"
       in
-      record node
+      if tracing node then
+        record node
         (Trace.Transmit { link = link_name; frame = frame_info frame pkt; bytes })
   | Arp_msg _ -> ());
   match out.attachment with
   | Detached -> (
       match frame.content with
       | Ip pkt ->
-          record node
+          if tracing node then
+            record node
             (Trace.Drop
                {
                  node = node.name;
@@ -466,7 +485,8 @@ and fault_deliver node ~link ~delay target frame =
 and record_fault_drop node reason frame =
   match frame.content with
   | Ip pkt ->
-      record node
+      if tracing node then
+        record node
         (Trace.Drop
            { node = node.name; reason; frame = frame_info frame pkt })
   | Arp_msg _ -> ()
@@ -482,6 +502,7 @@ and send_arp out ~l2_dst arp =
       content = Arp_msg arp;
       l2_src = out.mac;
       l2_dst;
+      csum = -1;
     }
   in
   emit out frame
@@ -496,7 +517,8 @@ and arp_request_retry out next_hop =
         (fun (_, frame) ->
           match frame.content with
           | Ip pkt ->
-              record node
+              if tracing node then
+                record node
                 (Trace.Drop
                    {
                      node = node.name;
@@ -547,13 +569,14 @@ and arp_input iface frame arp =
         send_arp iface ~l2_dst:frame.l2_src
           { op = `Reply; spa = arp.tpa; sha = iface.mac; tpa = arp.spa }
 
-and ip_output node ~out ~next_hop ?l2_dst ~flow pkt =
+and ip_output node ~out ~next_hop ?l2_dst ~flow ?(csum = -1) pkt =
   if not out.up then begin
     let f =
       { fid = new_frame_id node.net; flow; content = Ip pkt;
-        l2_src = out.mac; l2_dst = Mac_addr.broadcast }
+        l2_src = out.mac; l2_dst = Mac_addr.broadcast; csum }
     in
-    record node
+    if tracing node then
+      record node
       (Trace.Drop
          { node = node.name; reason = Trace.Link_down; frame = frame_info f pkt })
   end
@@ -562,9 +585,10 @@ and ip_output node ~out ~next_hop ?l2_dst ~flow pkt =
     | Error _ ->
         let f =
           { fid = new_frame_id node.net; flow; content = Ip pkt;
-            l2_src = out.mac; l2_dst = Mac_addr.broadcast }
+            l2_src = out.mac; l2_dst = Mac_addr.broadcast; csum }
         in
-        record node
+        if tracing node then
+          record node
           (Trace.Drop
              { node = node.name; reason = Trace.Mtu_exceeded; frame = frame_info f pkt });
         (* RFC 1191-style feedback so senders can adapt. *)
@@ -590,6 +614,14 @@ and ip_output node ~out ~next_hop ?l2_dst ~flow pkt =
                 content = Ip piece;
                 l2_src = out.mac;
                 l2_dst = Mac_addr.broadcast;
+                (* Fragmenting rewrites length/flags/offset, so each piece
+                   gets its own full checksum; the common unfragmented case
+                   returns the packet unchanged and keeps the carried one. *)
+                csum =
+                  (if piece == pkt then
+                     if csum >= 0 then csum
+                     else Ipv4_packet.header_checksum pkt
+                   else Ipv4_packet.header_checksum piece);
               }
             in
             match out.attachment with
@@ -611,7 +643,8 @@ and ip_input iface frame pkt =
   let node = iface.owner in
   match Filter.evaluate node.policy ~in_iface:iface.ifname pkt with
   | Filter.Reject reason ->
-      record node
+      if tracing node then
+        record node
         (Trace.Drop { node = node.name; reason; frame = frame_info frame pkt })
   | Filter.Pass ->
       let dst = pkt.Ipv4_packet.dst in
@@ -627,7 +660,8 @@ and ip_input iface frame pkt =
       then (* not joined / not ours: ignore silently *) ()
       else if node.router then forward node iface frame pkt
       else
-        record node
+        if tracing node then
+          record node
           (Trace.Drop
              { node = node.name; reason = Trace.Not_for_me; frame = frame_info frame pkt })
 
@@ -647,7 +681,8 @@ and deliver node in_iface frame pkt =
               let rerouted =
                 { whole with Ipv4_packet.dst = next; options }
               in
-              record node
+              if tracing node then
+                record node
                 (Trace.Forward
                    {
                      node = node.name;
@@ -666,7 +701,8 @@ and deliver_local node in_iface frame whole =
         | None -> false
       in
       if not consumed then begin
-        record node
+        if tracing node then
+          record node
           (Trace.Deliver { node = node.name; frame = frame_info frame whole });
         (match node.observer with Some f -> f whole | None -> ());
         let proto = Ipv4_packet.protocol_to_int whole.Ipv4_packet.protocol in
@@ -678,24 +714,56 @@ and deliver_local node in_iface frame whole =
 and forward node in_iface frame pkt =
   match Ipv4_packet.decrement_ttl pkt with
   | None ->
-      record node
+      if tracing node then
+        record node
         (Trace.Drop
            { node = node.name; reason = Trace.Ttl_expired; frame = frame_info frame pkt })
-  | Some pkt -> (
-      match Routing.lookup node.table pkt.Ipv4_packet.dst with
+  | Some pkt ->
+      forward_routed node in_iface frame
+        ~csum:
+          (if frame.csum >= 0 then begin
+             (* Only the TTL/protocol word changed: RFC 1624 incremental
+                update instead of re-summing the whole header.  [frame.csum]
+                belongs to the pre-decrement packet, so derive from the
+                original frame content. *)
+             let c =
+               match frame.content with
+               | Ip orig ->
+                   Ipv4_packet.decrement_ttl_checksum ~checksum:frame.csum
+                     orig
+               | Arp_msg _ -> Ipv4_packet.header_checksum pkt
+             in
+             if !checksum_debug then begin
+               let full = Ipv4_packet.header_checksum pkt in
+               if c <> full then
+                 failwith
+                   (Printf.sprintf
+                      "Net.forward: incremental checksum %#x <> recompute %#x"
+                      c full)
+             end;
+             c
+           end
+           else Ipv4_packet.header_checksum pkt)
+        pkt
+
+and forward_routed node in_iface frame ~csum pkt =
+  (match Routing.lookup node.table pkt.Ipv4_packet.dst with
       | None ->
-          record node
+          if tracing node then
+            record node
             (Trace.Drop
                { node = node.name; reason = Trace.No_route; frame = frame_info frame pkt })
       | Some route -> (
           match find_iface node route.Routing.iface with
           | None ->
-              record node
+              if tracing node then
+                record node
                 (Trace.Drop
                    { node = node.name; reason = Trace.No_route;
                      frame = frame_info frame pkt })
           | Some out ->
-              record node
+              if tracing node then
+                record node
                 (Trace.Forward
                    {
                      node = node.name;
@@ -714,8 +782,8 @@ and forward node in_iface frame pkt =
                 && Ipv4_options.has_options pkt.Ipv4_packet.options
               then
                 Engine.after node.net.engine node.option_penalty (fun () ->
-                    ip_output node ~out ~next_hop ~flow:frame.flow pkt)
-              else ip_output node ~out ~next_hop ~flow:frame.flow pkt))
+                    ip_output node ~out ~next_hop ~flow:frame.flow ~csum pkt)
+              else ip_output node ~out ~next_hop ~flow:frame.flow ~csum pkt))
 
 (* Origin transmission: loopback, override hook, routing table. *)
 and originate ?(depth = 0) node ~flow ?via ?l2_dst pkt =
@@ -732,13 +800,15 @@ and originate ?(depth = 0) node ~flow ?via ?l2_dst pkt =
     in
     let fake_frame pkt =
       { fid = new_frame_id node.net; flow; content = Ip pkt;
-        l2_src = Mac_addr.broadcast; l2_dst = Mac_addr.broadcast }
+        l2_src = Mac_addr.broadcast; l2_dst = Mac_addr.broadcast;
+        csum = Ipv4_packet.header_checksum pkt }
     in
     let emit_via out ~next_hop ?l2_dst pkt =
       let pkt = fill_src out pkt in
       let f = fake_frame pkt in
-      record node (Trace.Send { node = node.name; frame = frame_info f pkt });
-      ip_output node ~out ~next_hop ?l2_dst ~flow pkt
+      if tracing node then
+        record node (Trace.Send { node = node.name; frame = frame_info f pkt });
+      ip_output node ~out ~next_hop ?l2_dst ~flow ~csum:f.csum pkt
     in
     if owns_address node pkt.Ipv4_packet.dst then begin
       (* Loopback delivery: never touches a wire. *)
@@ -748,7 +818,8 @@ and originate ?(depth = 0) node ~flow ?via ?l2_dst pkt =
         else pkt
       in
       let f = fake_frame pkt in
-      record node (Trace.Send { node = node.name; frame = frame_info f pkt });
+      if tracing node then
+        record node (Trace.Send { node = node.name; frame = frame_info f pkt });
       deliver node None f pkt
     end
     else begin
@@ -762,7 +833,8 @@ and originate ?(depth = 0) node ~flow ?via ?l2_dst pkt =
           originate ~depth:(depth + 1) node ~flow ?via ?l2_dst pkt'
       | Some (Discard reason) ->
           let f = fake_frame pkt in
-          record node
+          if tracing node then
+            record node
             (Trace.Drop
                {
                  node = node.name;
@@ -779,7 +851,8 @@ and originate ?(depth = 0) node ~flow ?via ?l2_dst pkt =
               match Routing.lookup node.table pkt.Ipv4_packet.dst with
               | None ->
                   let f = fake_frame pkt in
-                  record node
+                  if tracing node then
+                    record node
                     (Trace.Drop
                        {
                          node = node.name;
@@ -790,7 +863,8 @@ and originate ?(depth = 0) node ~flow ?via ?l2_dst pkt =
                   match find_iface node route.Routing.iface with
                   | None ->
                       let f = fake_frame pkt in
-                      record node
+                      if tracing node then
+                        record node
                         (Trace.Drop
                            {
                              node = node.name;
@@ -815,9 +889,11 @@ let send node ?flow ?via ?l2_dst pkt =
 let inject_local node ~flow pkt =
   let frame =
     { fid = new_frame_id node.net; flow; content = Ip pkt;
-      l2_src = Mac_addr.broadcast; l2_dst = Mac_addr.broadcast }
+      l2_src = Mac_addr.broadcast; l2_dst = Mac_addr.broadcast; csum = -1 }
   in
-  record node (Trace.Deliver { node = node.name; frame = frame_info frame pkt });
+  if tracing node then
+    record node
+      (Trace.Deliver { node = node.name; frame = frame_info frame pkt });
   (match node.observer with Some f -> f pkt | None -> ());
   let proto = Ipv4_packet.protocol_to_int pkt.Ipv4_packet.protocol in
   (match Hashtbl.find_opt node.handlers proto with

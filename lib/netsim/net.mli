@@ -34,6 +34,15 @@ type segment
 val create : unit -> t
 val engine : t -> Engine.t
 val trace : t -> Trace.t
+
+val set_tracing : t -> bool -> unit
+(** [set_tracing t false] turns off per-packet tracing for this world
+    ({!Trace.set_enabled} on its trace): the data plane stops building
+    trace events, so throughput runs skip all per-hop record allocation.
+    An installed {!Trace.set_observer} or {!Trace.set_sink} overrides the
+    switch — oracle and [--trace-json] runs see identical events either
+    way.  Default on. *)
+
 val now : t -> float
 val run : ?until:float -> t -> unit
 
@@ -229,6 +238,11 @@ val send :
 val same_segment : node -> node -> bool
 (** True when the two nodes have interfaces attached to a common segment —
     the applicability test for the paper's Row C. *)
+
+val set_checksum_debug : bool -> unit
+(** When on (default off), every forwarding hop cross-checks the RFC 1624
+    incremental header-checksum update against a full field-wise recompute
+    and fails loudly on divergence.  Global; used by the test suite. *)
 
 (** {1 Fault injection}
 

@@ -10,38 +10,157 @@ let pp_route fmt r =
     (match r.gateway with Some g -> Ipv4_addr.to_string g | None -> "direct")
     r.iface r.metric
 
-(* Routes kept sorted: longest prefix first, then lowest metric, then newest
-   first (insertion order preserved by stable sort). *)
-type table = { mutable routes : route list }
+(* Binary trie on destination-address bits.  The node reached by following
+   the first [bits] bits of a network holds every route for exactly that
+   prefix, kept sorted by metric (ascending) then insertion sequence
+   (newest first), so the head of a node's list is that prefix's winner and
+   the deepest non-empty node on a lookup walk is the longest match —
+   exactly the longest-prefix / lowest-metric / newest-route preference of
+   the old sorted-list table. *)
+type node = {
+  mutable here : (int * route) list;  (* (insertion seq, route) *)
+  mutable zero : node option;
+  mutable one : node option;
+}
 
-let create () = { routes = [] }
+let new_node () = { here = []; zero = None; one = None }
 
-let order a b =
-  match
-    Int.compare (Ipv4_addr.Prefix.bits b.prefix) (Ipv4_addr.Prefix.bits a.prefix)
-  with
-  | 0 -> Int.compare a.metric b.metric
-  | c -> c
+type table = {
+  mutable root : node;
+  mutable seq : int;
+  (* One-entry destination cache: forwarding typically sends runs of
+     packets to the same destination, so remember the last answer until
+     the table is mutated. *)
+  mutable cache_addr : Ipv4_addr.t;
+  mutable cache_route : route option;
+  mutable cache_valid : bool;
+}
+
+let create () =
+  {
+    root = new_node ();
+    seq = 0;
+    cache_addr = Ipv4_addr.any;
+    cache_route = None;
+    cache_valid = false;
+  }
+
+let invalidate t = t.cache_valid <- false
+
+let bit (addr : int32) d =
+  Int32.to_int (Int32.shift_right_logical addr (31 - d)) land 1
+
+let rec find_node node net depth bits ~make =
+  if depth = bits then Some node
+  else
+    let b = bit net depth in
+    match (if b = 0 then node.zero else node.one) with
+    | Some child -> find_node child net (depth + 1) bits ~make
+    | None ->
+        if not make then None
+        else begin
+          let child = new_node () in
+          if b = 0 then node.zero <- Some child else node.one <- Some child;
+          find_node child net (depth + 1) bits ~make
+        end
 
 let add t ?(metric = 0) ?gateway ~prefix ~iface () =
   let r = { prefix; gateway; iface; metric } in
-  t.routes <- List.stable_sort order (r :: t.routes)
+  let node =
+    Option.get
+      (find_node t.root
+         (Ipv4_addr.to_int32 (Ipv4_addr.Prefix.network prefix))
+         0
+         (Ipv4_addr.Prefix.bits prefix)
+         ~make:true)
+  in
+  t.seq <- t.seq + 1;
+  (* Insert before the first entry of equal-or-greater metric: lower metric
+     wins, and among equal metrics the newest route comes first. *)
+  let rec ins = function
+    | (s', r') :: rest when r'.metric < metric -> (s', r') :: ins rest
+    | rest -> (t.seq, r) :: rest
+  in
+  node.here <- ins node.here;
+  invalidate t
 
 let add_default t ~gateway ~iface =
   add t ~gateway ~prefix:Ipv4_addr.Prefix.global ~iface ()
 
-let remove t ~prefix =
-  t.routes <-
-    List.filter (fun r -> not (Ipv4_addr.Prefix.equal r.prefix prefix)) t.routes
+let remove t ?iface ?metric ~prefix () =
+  (match
+     find_node t.root
+       (Ipv4_addr.to_int32 (Ipv4_addr.Prefix.network prefix))
+       0
+       (Ipv4_addr.Prefix.bits prefix)
+       ~make:false
+   with
+  | None -> ()
+  | Some node ->
+      let matches (_, r) =
+        (match iface with None -> true | Some i -> r.iface = i)
+        && match metric with None -> true | Some m -> r.metric = m
+      in
+      node.here <- List.filter (fun e -> not (matches e)) node.here);
+  invalidate t
 
 let remove_iface t ~iface =
-  t.routes <- List.filter (fun r -> r.iface <> iface) t.routes
+  let rec strip node =
+    node.here <- List.filter (fun (_, r) -> r.iface <> iface) node.here;
+    Option.iter strip node.zero;
+    Option.iter strip node.one
+  in
+  strip t.root;
+  invalidate t
+
+let lookup_uncached t addr =
+  let a = Ipv4_addr.to_int32 addr in
+  let rec walk node depth best =
+    let best = match node.here with (_, r) :: _ -> Some r | [] -> best in
+    if depth = 32 then best
+    else
+      match (if bit a depth = 0 then node.zero else node.one) with
+      | None -> best
+      | Some child -> walk child (depth + 1) best
+  in
+  walk t.root 0 None
 
 let lookup t addr =
-  List.find_opt (fun r -> Ipv4_addr.Prefix.mem addr r.prefix) t.routes
+  if t.cache_valid && Ipv4_addr.equal addr t.cache_addr then t.cache_route
+  else begin
+    let r = lookup_uncached t addr in
+    t.cache_addr <- addr;
+    t.cache_route <- r;
+    t.cache_valid <- true;
+    r
+  end
 
-let routes t = t.routes
-let clear t = t.routes <- []
+let routes t =
+  let acc = ref [] in
+  let rec collect node =
+    List.iter (fun e -> acc := e :: !acc) node.here;
+    Option.iter collect node.zero;
+    Option.iter collect node.one
+  in
+  collect t.root;
+  List.stable_sort
+    (fun (sa, a) (sb, b) ->
+      match
+        Int.compare
+          (Ipv4_addr.Prefix.bits b.prefix)
+          (Ipv4_addr.Prefix.bits a.prefix)
+      with
+      | 0 -> (
+          match Int.compare a.metric b.metric with
+          | 0 -> Int.compare sb sa (* newest first *)
+          | c -> c)
+      | c -> c)
+    !acc
+  |> List.map snd
+
+let clear t =
+  t.root <- new_node ();
+  invalidate t
 
 let pp fmt t =
-  List.iter (fun r -> Format.fprintf fmt "%a@." pp_route r) t.routes
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_route r) (routes t)

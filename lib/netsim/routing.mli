@@ -3,7 +3,12 @@
     A route maps a destination prefix to an outgoing interface name and an
     optional next-hop gateway (absent for directly-connected networks).
     Lookup prefers the longest matching prefix, then the lowest metric,
-    then the most recently added route. *)
+    then the most recently added route.
+
+    Internally the table is a binary trie on address bits with a one-entry
+    destination cache, so [lookup] is O(prefix length) — O(1) for repeated
+    destinations — rather than a scan of the whole table.  Any mutation
+    invalidates the cache. *)
 
 type route = {
   prefix : Ipv4_addr.Prefix.t;
@@ -25,8 +30,17 @@ val add : table -> ?metric:int -> ?gateway:Ipv4_addr.t ->
 val add_default : table -> gateway:Ipv4_addr.t -> iface:string -> unit
 (** Add a [0.0.0.0/0] route. *)
 
-val remove : table -> prefix:Ipv4_addr.Prefix.t -> unit
-(** Remove every route for exactly this prefix. *)
+val remove :
+  table ->
+  ?iface:string ->
+  ?metric:int ->
+  prefix:Ipv4_addr.Prefix.t ->
+  unit ->
+  unit
+(** [remove t ?iface ?metric ~prefix ()] removes routes for exactly this
+    prefix.  With no filters, removes every such route (the historical
+    behaviour); [?iface] and/or [?metric] restrict removal to routes that
+    also match those fields, for callers that mean one specific route. *)
 
 val remove_iface : table -> iface:string -> unit
 (** Remove every route through the named interface (used when a mobile

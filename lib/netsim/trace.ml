@@ -66,6 +66,9 @@ type t = {
   mutable observer : (record -> unit) option;
       (* per-trace tap (the invariant oracle); independent of the
          process-wide sink below *)
+  mutable enabled : bool;
+      (* when false and no observer or sink is installed, [interested] is
+         false and the data plane skips event construction entirely *)
 }
 
 (* Optional process-wide tap, fed every record from every trace as it is
@@ -76,9 +79,22 @@ let sink : (record -> unit) option ref = ref None
 let set_sink f = sink := f
 
 let create () =
-  { rev_records = []; count = 0; by_flow = Hashtbl.create 64; observer = None }
+  {
+    rev_records = [];
+    count = 0;
+    by_flow = Hashtbl.create 64;
+    observer = None;
+    enabled = true;
+  }
 
 let set_observer t f = t.observer <- f
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+
+(* An installed observer (invariant oracle) or process-wide sink
+   (--trace-json) overrides gating: those consumers must see every event
+   whether or not in-memory logging was turned off. *)
+let interested t = t.enabled || t.observer <> None || !sink <> None
 
 let frame_of = function
   | Send { frame; _ }

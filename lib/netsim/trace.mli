@@ -61,6 +61,20 @@ val records : t -> record list
 val clear : t -> unit
 val length : t -> int
 
+val set_enabled : t -> bool -> unit
+(** Turn per-packet tracing on or off (default on).  While off {e and} no
+    observer or sink is installed, {!interested} is false and the data
+    plane skips building events — the per-hop fast path allocates nothing
+    for tracing.  Records written while a consumer keeps {!interested}
+    true are still logged normally. *)
+
+val enabled : t -> bool
+
+val interested : t -> bool
+(** Whether anything wants trace events right now: the trace is enabled,
+    or an observer is installed, or the process-wide sink is.  The data
+    plane checks this before constructing an event. *)
+
 val set_observer : t -> (record -> unit) option -> unit
 (** Install (or clear) a per-trace tap called with every record as it is
     written to {e this} trace — how the {!Invariant} oracle watches a run

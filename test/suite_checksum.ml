@@ -111,6 +111,57 @@ let prop_verifies =
       Checksum.valid
         (Bytes.cat data (bytes_of_ints [ csum lsr 8; csum land 0xff ])))
 
+let test_rfc1624_example () =
+  (* RFC 1624 section 4's worked example: HC = 0xdd2f, a word changes
+     from m = 0x5555 to m' = 0x3285; the correct new checksum is 0x0000
+     (the older RFC 1141 formula wrongly yields 0xffff here). *)
+  Alcotest.(check int) "rfc 1624 worked example" 0x0000
+    (Checksum.incremental_update ~checksum:0xdd2f ~old_word:0x5555
+       ~new_word:0x3285)
+
+let test_incremental_matches_recompute () =
+  (* Decrement the TTL in the classic header vector: updating the old
+     checksum incrementally must equal a full recompute. *)
+  let header =
+    bytes_of_ints
+      [ 0x45; 0x00; 0x00; 0x73; 0x00; 0x00; 0x40; 0x00; 0x40; 0x11; 0x00;
+        0x00; 0xc0; 0xa8; 0x00; 0x01; 0xc0; 0xa8; 0x00; 0xc7 ]
+  in
+  let old_csum = Checksum.compute header in
+  Bytes.set header 8 '\x3f';
+  Alcotest.(check int) "ttl 0x40 -> 0x3f"
+    (Checksum.compute header)
+    (Checksum.incremental_update ~checksum:old_csum ~old_word:0x4011
+       ~new_word:0x3f11)
+
+let test_incremental_range_checked () =
+  Alcotest.check_raises "checksum out of range"
+    (Invalid_argument "Checksum.incremental_update: checksum out of range")
+    (fun () ->
+      ignore
+        (Checksum.incremental_update ~checksum:0x10000 ~old_word:0
+           ~new_word:0));
+  Alcotest.check_raises "word out of range"
+    (Invalid_argument "Checksum.incremental_update: word out of range")
+    (fun () ->
+      ignore
+        (Checksum.incremental_update ~checksum:0 ~old_word:(-1) ~new_word:0))
+
+let prop_incremental_equals_recompute =
+  QCheck.Test.make ~name:"incremental update = full recompute" ~count:500
+    QCheck.(
+      triple (list_of_size Gen.(return 19) (0 -- 255)) (1 -- 9) (0 -- 0xffff))
+    (fun (ints, wi, new_word) ->
+      (* A 20-byte header-like buffer whose first word is pinned nonzero
+         (0x45..), so the folded one's-complement sum never lands on the
+         ambiguous 0x0000/0xffff pair and both paths agree exactly. *)
+      let buf = bytes_of_ints (0x45 :: ints) in
+      let old_csum = Checksum.compute buf in
+      let old_word = Bytes.get_uint16_be buf (2 * wi) in
+      Bytes.set_uint16_be buf (2 * wi) new_word;
+      Checksum.compute buf
+      = Checksum.incremental_update ~checksum:old_csum ~old_word ~new_word)
+
 let suites =
   [
     ( "checksum",
@@ -125,7 +176,14 @@ let suites =
         Alcotest.test_case "initial accumulation" `Quick
           test_initial_accumulation;
         Alcotest.test_case "pseudo header" `Quick test_pseudo_header;
+        Alcotest.test_case "rfc 1624 worked example" `Quick
+          test_rfc1624_example;
+        Alcotest.test_case "incremental = recompute (vector)" `Quick
+          test_incremental_matches_recompute;
+        Alcotest.test_case "incremental range checked" `Quick
+          test_incremental_range_checked;
         QCheck_alcotest.to_alcotest prop_chunked_equals_whole;
         QCheck_alcotest.to_alcotest prop_verifies;
+        QCheck_alcotest.to_alcotest prop_incremental_equals_recompute;
       ] );
   ]

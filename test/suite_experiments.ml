@@ -15,7 +15,7 @@ let test_registry_complete () =
         (List.mem expected ids))
     [
       "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-      "E12"; "E13"; "E14"; "E15"; "A1"; "A2";
+      "E12"; "E13"; "E14"; "E15"; "E16"; "E17"; "E18"; "A1"; "A2";
     ];
   Alcotest.(check bool) "lookup case-insensitive" true
     (Experiments.Registry.find "e8" <> None);

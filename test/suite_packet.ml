@@ -221,6 +221,38 @@ let prop_wire_tunnel_roundtrip =
       | Ok outer' -> Ipv4_packet.equal outer outer'
       | Error _ -> false)
 
+let test_header_checksum_matches_encode () =
+  List.iter
+    (fun pkt ->
+      Alcotest.(check int) "header_checksum = wire checksum field"
+        (Bytes.get_uint16_be (Ipv4_packet.encode pkt) 10)
+        (Ipv4_packet.header_checksum pkt))
+    [
+      base 0;
+      base 100;
+      Ipv4_packet.make
+        ~options:(Bytes.make 8 '\001')
+        ~protocol:Ipv4_packet.P_udp ~src ~dst (udp_payload 10);
+      Mobileip.Encap.wrap Mobileip.Encap.Gre ~src:coa ~dst:ha (base 64);
+    ]
+
+let prop_header_checksum_matches_encode =
+  QCheck.Test.make ~name:"header_checksum = encode's checksum field"
+    ~count:300 arb_packet (fun pkt ->
+      Ipv4_packet.header_checksum pkt
+      = Bytes.get_uint16_be (Ipv4_packet.encode pkt) 10)
+
+let prop_ttl_decrement_checksum =
+  QCheck.Test.make ~name:"rfc 1624 ttl decrement = recomputed checksum"
+    ~count:300 arb_packet (fun pkt ->
+      QCheck.assume (pkt.Ipv4_packet.ttl > 1);
+      let csum = Ipv4_packet.header_checksum pkt in
+      match Ipv4_packet.decrement_ttl pkt with
+      | None -> false
+      | Some p ->
+          Ipv4_packet.decrement_ttl_checksum ~checksum:csum pkt
+          = Ipv4_packet.header_checksum p)
+
 let suites =
   [
     ( "packet",
@@ -244,7 +276,11 @@ let suites =
         Alcotest.test_case "options encoded" `Quick test_options_encoded;
         Alcotest.test_case "options validated" `Quick test_options_validated;
         Alcotest.test_case "protocol numbers" `Quick test_protocol_numbers;
+        Alcotest.test_case "header_checksum matches encode" `Quick
+          test_header_checksum_matches_encode;
         QCheck_alcotest.to_alcotest prop_encode_decode;
+        QCheck_alcotest.to_alcotest prop_header_checksum_matches_encode;
+        QCheck_alcotest.to_alcotest prop_ttl_decrement_checksum;
         QCheck_alcotest.to_alcotest prop_tunnel_roundtrip;
         QCheck_alcotest.to_alcotest prop_wire_tunnel_roundtrip;
       ] );

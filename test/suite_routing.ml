@@ -52,7 +52,7 @@ let test_metric_tiebreak () =
 
 let test_remove_prefix () =
   let t = table_of [ ("10.0.0.0/8", None, "x", 0); ("10.1.0.0/16", None, "y", 0) ] in
-  Routing.remove t ~prefix:(p "10.1.0.0/16");
+  Routing.remove t ~prefix:(p "10.1.0.0/16") ();
   Alcotest.(check (option string)) "fallback to /8" (Some "x")
     (lookup_iface t "10.1.1.1");
   Alcotest.(check int) "one route left" 1 (List.length (Routing.routes t))
@@ -127,6 +127,93 @@ let prop_matches_reference =
           && Ipv4_addr.Prefix.mem dst r.Routing.prefix
       | _ -> false)
 
+let test_newest_wins_tiebreak () =
+  let t = table_of [ ("10.0.0.0/8", None, "older", 5) ] in
+  Routing.add t ~metric:5 ~prefix:(p "10.0.0.0/8") ~iface:"newer" ();
+  Alcotest.(check (option string)) "equal metric: newest wins" (Some "newer")
+    (lookup_iface t "10.9.9.9")
+
+let test_remove_filters () =
+  let routes =
+    [
+      ("10.0.0.0/8", None, "eth0", 1);
+      ("10.0.0.0/8", None, "eth1", 2);
+      ("10.0.0.0/8", None, "eth2", 3);
+    ]
+  in
+  let t = table_of routes in
+  Routing.remove t ~iface:"eth1" ~prefix:(p "10.0.0.0/8") ();
+  Alcotest.(check int) "iface filter removes one" 2
+    (List.length (Routing.routes t));
+  Alcotest.(check (option string)) "cheapest survivor wins" (Some "eth0")
+    (lookup_iface t "10.1.1.1");
+  Routing.remove t ~metric:3 ~prefix:(p "10.0.0.0/8") ();
+  Alcotest.(check int) "metric filter removes one" 1
+    (List.length (Routing.routes t));
+  let t2 = table_of routes in
+  Routing.remove t2 ~prefix:(p "10.0.0.0/8") ();
+  Alcotest.(check int) "no filter removes all at prefix" 0
+    (List.length (Routing.routes t2));
+  let t3 = table_of routes in
+  Routing.remove t3 ~iface:"nope" ~prefix:(p "10.0.0.0/8") ();
+  Alcotest.(check int) "unmatched filter removes nothing" 3
+    (List.length (Routing.routes t3))
+
+let test_lookup_cache_invalidation () =
+  let t = table_of [ ("10.0.0.0/8", None, "coarse", 0) ] in
+  Alcotest.(check (option string)) "warm the cache" (Some "coarse")
+    (lookup_iface t "10.1.2.3");
+  Routing.add t ~metric:0 ~prefix:(p "10.1.0.0/16") ~iface:"fine" ();
+  Alcotest.(check (option string)) "add invalidates" (Some "fine")
+    (lookup_iface t "10.1.2.3");
+  Alcotest.(check (option string)) "repeat (cached) lookup" (Some "fine")
+    (lookup_iface t "10.1.2.3");
+  Routing.remove t ~prefix:(p "10.1.0.0/16") ();
+  Alcotest.(check (option string)) "remove invalidates" (Some "coarse")
+    (lookup_iface t "10.1.2.3");
+  Routing.clear t;
+  Alcotest.(check (option string)) "clear invalidates" None
+    (lookup_iface t "10.1.2.3")
+
+let prop_matches_reference_after_removes =
+  QCheck.Test.make ~name:"lookup agrees with reference after removals"
+    ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 15) (pair arb_prefix (0 -- 3)))
+        (list_of_size Gen.(0 -- 10) (0 -- 14))
+        (pair (0 -- 255) (0 -- 255)))
+    (fun (routes, removals, (x, y)) ->
+      let dst = Ipv4_addr.of_octets x y 1 1 in
+      let t = Routing.create () in
+      let tagged =
+        List.mapi
+          (fun i (prefix, metric) ->
+            let iface = Printf.sprintf "if%d" i in
+            Routing.add t ~metric ~prefix ~iface ();
+            (prefix, metric, iface))
+          routes
+      in
+      let doomed = List.filter_map (fun i -> List.nth_opt tagged i) removals in
+      List.iter
+        (fun (prefix, _, iface) ->
+          (* Churn the one-entry cache between mutations. *)
+          ignore (Routing.lookup t dst);
+          Routing.remove t ~iface ~prefix ())
+        doomed;
+      let remaining =
+        List.filter
+          (fun (_, _, i) -> not (List.exists (fun (_, _, j) -> j = i) doomed))
+          tagged
+      in
+      match (Routing.lookup t dst, reference_lookup remaining dst) with
+      | None, None -> true
+      | Some r, Some (bp, bm, _) ->
+          Ipv4_addr.Prefix.bits r.Routing.prefix = Ipv4_addr.Prefix.bits bp
+          && r.Routing.metric = bm
+          && Ipv4_addr.Prefix.mem dst r.Routing.prefix
+      | _ -> false)
+
 let suites =
   [
     ( "routing",
@@ -137,6 +224,13 @@ let suites =
         Alcotest.test_case "remove prefix" `Quick test_remove_prefix;
         Alcotest.test_case "remove iface" `Quick test_remove_iface;
         Alcotest.test_case "gateway returned" `Quick test_gateway_returned;
+        Alcotest.test_case "newest wins tiebreak" `Quick
+          test_newest_wins_tiebreak;
+        Alcotest.test_case "remove with iface/metric filters" `Quick
+          test_remove_filters;
+        Alcotest.test_case "lookup cache invalidation" `Quick
+          test_lookup_cache_invalidation;
         QCheck_alcotest.to_alcotest prop_matches_reference;
+        QCheck_alcotest.to_alcotest prop_matches_reference_after_removes;
       ] );
   ]

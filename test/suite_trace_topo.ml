@@ -157,6 +157,77 @@ let test_workload_http_fetch () =
   Alcotest.(check bool) "fetched" true ok;
   Alcotest.(check bool) "took time" true (elapsed > 0.0)
 
+(* ---- trace gating ---- *)
+
+let gating_world () =
+  let net = Net.create () in
+  let h1 = Net.add_host net "h1" in
+  let h2 = Net.add_host net "h2" in
+  let seg = Net.add_segment net ~name:"lan" () in
+  let pfx = Ipv4_addr.Prefix.of_string "10.0.0.0/24" in
+  let _ = Net.attach h1 seg ~ifname:"eth0" ~addr:(a "10.0.0.1") ~prefix:pfx in
+  let _ = Net.attach h2 seg ~ifname:"eth0" ~addr:(a "10.0.0.2") ~prefix:pfx in
+  ignore (Transport.Icmp_service.get h2);
+  (net, h1)
+
+let gating_ping net h1 =
+  let got = ref false in
+  Transport.Icmp_service.ping
+    (Transport.Icmp_service.get h1)
+    ~dst:(a "10.0.0.2")
+    (fun ~rtt:_ -> got := true);
+  Net.run net;
+  !got
+
+let render r = Format.asprintf "%.6f %a" r.Trace.time Trace.pp_record r
+
+let test_gating_disabled_records_nothing () =
+  let net, h1 = gating_world () in
+  Net.set_tracing net false;
+  Alcotest.(check bool) "ping still works" true (gating_ping net h1);
+  Alcotest.(check int) "no records while disabled" 0
+    (Trace.length (Net.trace net));
+  (* Re-enabling resumes recording on the same trace. *)
+  Net.set_tracing net true;
+  Alcotest.(check bool) "second ping works" true (gating_ping net h1);
+  Alcotest.(check bool) "records resume" true (Trace.length (Net.trace net) > 0)
+
+(* An observer (resp. the process-wide sink) must keep the data plane
+   emitting events even when the trace itself is disabled, and the events
+   must be exactly those an enabled run records. *)
+let test_gating_observer_sees_identical_events () =
+  let net1, h1 = gating_world () in
+  Alcotest.(check bool) "reference ping" true (gating_ping net1 h1);
+  let reference = List.map render (Trace.records (Net.trace net1)) in
+  Alcotest.(check bool) "reference run recorded" true (reference <> []);
+  let net2, h2 = gating_world () in
+  Net.set_tracing net2 false;
+  let seen = ref [] in
+  Trace.set_observer (Net.trace net2) (Some (fun r -> seen := r :: !seen));
+  Alcotest.(check bool) "observed ping" true (gating_ping net2 h2);
+  Alcotest.(check (list string)) "observer sees the enabled-run events"
+    reference
+    (List.rev_map render !seen);
+  (* While a consumer keeps the trace interested, records are still
+     logged to the buffer normally. *)
+  Alcotest.(check (list string)) "buffer logged normally too" reference
+    (List.map render (Trace.records (Net.trace net2)))
+
+let test_gating_sink_sees_identical_events () =
+  let net1, h1 = gating_world () in
+  Alcotest.(check bool) "reference ping" true (gating_ping net1 h1);
+  let reference = List.map render (Trace.records (Net.trace net1)) in
+  let net2, h2 = gating_world () in
+  Net.set_tracing net2 false;
+  let seen = ref [] in
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      Trace.set_sink (Some (fun r -> seen := r :: !seen));
+      Alcotest.(check bool) "sink ping" true (gating_ping net2 h2));
+  Alcotest.(check (list string)) "sink sees the enabled-run events" reference
+    (List.rev_map render !seen)
+
 let suites =
   [
     ( "trace+topo",
@@ -176,5 +247,11 @@ let suites =
           test_workload_udp_transaction;
         Alcotest.test_case "workload http fetch" `Quick
           test_workload_http_fetch;
+        Alcotest.test_case "gating: disabled records nothing" `Quick
+          test_gating_disabled_records_nothing;
+        Alcotest.test_case "gating: observer sees identical events" `Quick
+          test_gating_observer_sees_identical_events;
+        Alcotest.test_case "gating: sink sees identical events" `Quick
+          test_gating_sink_sees_identical_events;
       ] );
   ]

@@ -1,3 +1,7 @@
+(* Cross-check RFC 1624 incremental checksums against full recomputes on
+   every forwarded packet in every suite. *)
+let () = Netsim.Net.set_checksum_debug true
+
 let () =
   Alcotest.run "mobility4x4"
     (List.concat
