@@ -455,6 +455,29 @@ let stats_cmd =
         churn.Experiments.E16_handover_churn.move2_recovery;
         churn.Experiments.E16_handover_churn.crash_recovery;
       ];
+    (* Failure-signaling and failover reference (the E19 scenarios): the
+       ICMP feedback counters from the signaled-filtering run and the
+       standby takeover latency histogram from the crash run. *)
+    let fr = Experiments.E19_failover.run_filtering ~signaled:true () in
+    count "icmp_errors_sent_total"
+      "ICMP destination-unreachable errors routers emitted (E19 part A, \
+       signaled)"
+      fr.Experiments.E19_failover.icmp_sent;
+    count "icmp_errors_consumed_total"
+      "ICMP errors the mobility software consumed as negative feedback"
+      fr.Experiments.E19_failover.icmp_consumed;
+    let fo = Experiments.E19_failover.run_failover ~standby:true () in
+    count "ha_takeovers_total"
+      "standby home-agent takeovers (E19 part B, with standby)"
+      fo.Experiments.E19_failover.takeovers;
+    let fh =
+      Netobs.Metrics.histogram reg
+        ~help:"standby detection latency: primary observed down -> takeover"
+        "ha_failover_ms"
+    in
+    (match fo.Experiments.E19_failover.failover with
+    | Some s -> Netobs.Metrics.observe fh (s *. 1000.0)
+    | None -> ());
     let snap = Netobs.Metrics.snapshot reg in
     if json then
       print_endline (Netobs.Json.to_string (Netobs.Metrics.snapshot_to_json snap))

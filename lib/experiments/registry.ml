@@ -20,6 +20,7 @@ let all =
     ("E17", "Chaos soak under the invariant oracle", E17_chaos_soak.run);
     ("E18", "Simulator capacity: packets/sec under concurrent load",
      E18_sim_capacity.run);
+    ("E19", "Failure signaling and home-agent failover", E19_failover.run);
     ("A1", "Section 4 ablation: source routing vs encapsulation",
      A01_source_routing.run);
     ("A2", "Sections 2/3.3 ablation: encapsulation formats",

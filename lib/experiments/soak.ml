@@ -19,6 +19,7 @@ type profile = {
   mh_lifetime : int;  (* registration lifetime the MH requests *)
   max_renewals : int;  (* keepalive renewal budget *)
   retry_limit : int;  (* registration transmissions before giving up *)
+  with_standby : bool;  (* pair a hot-standby home agent *)
 }
 
 let gentle =
@@ -30,6 +31,10 @@ let gentle =
     mh_lifetime = 10;
     max_renewals = 12;
     retry_limit = 4;
+    (* The short outages are exactly what the standby is for: detection is
+       tightened (0.5 s poll / 1 s timeout) so even a 2 s outage exercises
+       takeover and failback under the ha-failover-recovery invariant. *)
+    with_standby = true;
   }
 
 let harsh =
@@ -41,6 +46,7 @@ let harsh =
     mh_lifetime = 10;
     max_renewals = 3;
     retry_limit = 3;
+    with_standby = false;
   }
 
 type outcome = {
@@ -95,7 +101,9 @@ let build_world profile ~cell ~seed =
       (if same_segment then Scenarios.Topo.On_visited_segment
        else Scenarios.Topo.Remote)
     ~ch_capability:Correspondent.Mobile_aware ~mh_lifetime:profile.mh_lifetime
-    ~mh_retry_base:0.5 ~mh_retry_cap:2.0 ~mh_retry_limit:profile.retry_limit ()
+    ~mh_retry_base:0.5 ~mh_retry_cap:2.0 ~mh_retry_limit:profile.retry_limit
+    ~with_standby_ha:profile.with_standby ~standby_detect_interval:0.5
+    ~standby_detect_timeout:1.0 ()
 
 let budget_for profile topo =
   {
@@ -130,6 +138,7 @@ let replay ?(profile = gentle) ~cell ~seed plan =
   Mobile_host.enable_keepalive mh ~margin:5.0
     ~max_renewals:profile.max_renewals ();
   Home_agent.enable_purge topo.Scenarios.Topo.ha ~interval:5.0 ~ticks:16 ();
+  Scenarios.Topo.arm_standby topo;
 
   (* The oracle: the standard invariants, recovery judged from the end of
      the plan, and a monitored TCP byte stream MH -> CH. *)

@@ -19,12 +19,17 @@ type profile = {
   mh_lifetime : int;  (** registration lifetime the MH requests *)
   max_renewals : int;  (** keepalive renewal budget *)
   retry_limit : int;  (** registration transmissions before giving up *)
+  with_standby : bool;
+      (** pair a hot-standby home agent (tight 0.5 s/1 s detection), so
+          [ha_outage] actions exercise takeover and failback under the
+          ha-failover-recovery invariant *)
 }
 
 val gentle : profile
 (** The default soak profile: short outages against a generous renewal
-    budget — a healthy implementation passes every invariant, so the CI
-    smoke sweep stays green unless something regresses. *)
+    budget and a standby home agent — a healthy implementation passes
+    every invariant, so the CI smoke sweep stays green unless something
+    regresses. *)
 
 val harsh : profile
 (** The E17 profile: home-agent outages long enough to exhaust a small

@@ -19,6 +19,8 @@ type t = {
   mutable decapsulated : int;
   mutable adverts : int;
   mutable tunnel_ident : int;
+  mutable icmp_consumed : int;
+      (* destination-unreachable errors acted on as negative feedback *)
 }
 
 let node t = t.ch_node
@@ -26,6 +28,7 @@ let capability t = t.cap
 let packets_encapsulated t = t.encapsulated
 let packets_decapsulated t = t.decapsulated
 let adverts_received t = t.adverts
+let icmp_errors_consumed t = t.icmp_consumed
 
 let learn_binding t ~home ~care_of ~lifetime =
   match t.cap with
@@ -178,6 +181,7 @@ let create ch_node ~capability ?(encap = Encap.Ipip) () =
       decapsulated = 0;
       adverts = 0;
       tunnel_ident = 1;
+      icmp_consumed = 0;
     }
   in
   (match capability with
@@ -196,6 +200,29 @@ let create ch_node ~capability ?(encap = Encap.Ipip) () =
         (Some
            (fun ~home ~care_of ~lifetime ->
              t.adverts <- t.adverts + 1;
-             learn_binding t ~home ~care_of ~lifetime)));
+             learn_binding t ~home ~care_of ~lifetime));
+      (* A destination-unreachable about a care-of address we tunnel to
+         means the cached binding routes into a black hole (the host
+         moved on, or a filter refuses the tunnel): drop those entries so
+         traffic falls back to In-IE via the home agent. *)
+      Transport.Icmp_service.on_unreachable icmp
+        (Some
+           (fun ~code ~src:_ ~original ->
+             match (code, original) with
+             | ( ( Icmp_wire.Admin_prohibited | Icmp_wire.Host_unreachable
+                 | Icmp_wire.Net_unreachable ),
+                 Some (_, dst) ) ->
+                 let stale =
+                   Hashtbl.fold
+                     (fun home b acc ->
+                       if Ipv4_addr.equal b.Types.care_of dst then home :: acc
+                       else acc)
+                     t.cache []
+                 in
+                 if stale <> [] then begin
+                   t.icmp_consumed <- t.icmp_consumed + 1;
+                   List.iter (Hashtbl.remove t.cache) stale
+                 end
+             | _ -> ())));
   let (_ : Transport.Icmp_service.t) = Transport.Icmp_service.get ch_node in
   t

@@ -74,3 +74,9 @@ val packets_decapsulated : t -> int
 
 val adverts_received : t -> int
 (** ICMP care-of advertisements accepted into the cache. *)
+
+val icmp_errors_consumed : t -> int
+(** Destination-unreachable errors that invalidated a cached binding
+    (mobile-aware only): the error's quoted context named a care-of
+    address this host was tunneling to, so the binding was dropped and
+    traffic falls back to In-IE via the home agent. *)

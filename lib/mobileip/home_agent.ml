@@ -20,6 +20,14 @@ type t = {
   mutable mcast_relayed : int;
   mutable up : bool;  (* false while crashed: no replies, no forwarding *)
   mutable purged : int;  (* bindings removed by the periodic purge *)
+  mutable standby : t option;  (* on a primary: its hot standby *)
+  mutable standby_of : t option;  (* on a standby: the primary it guards *)
+  mutable standby_active : bool;  (* the standby is currently serving *)
+  mutable detect_interval : float;  (* liveness poll period (standby) *)
+  mutable detect_timeout : float;  (* continuous downtime before takeover *)
+  mutable takeovers : int;
+  mutable last_failover : float option;
+      (* seconds from first observing the primary down to taking over *)
 }
 
 let node t = t.ha_node
@@ -36,13 +44,34 @@ let tunnel_ident t =
   t.next_tunnel_ident <- (if i >= 0xffff then 1 else i + 1);
   i
 
+(* A passive standby holds a replica binding table but must stay inert on
+   the data plane: no interception, no proxy-ARP, no claims, until a
+   takeover activates it. *)
+let is_passive_standby t = t.standby_of <> None && not t.standby_active
+
+let drop_replica s home =
+  s.binding_table <-
+    List.filter
+      (fun b -> not (Ipv4_addr.equal b.Types.home home))
+      s.binding_table
+
+let store_replica s (b : Types.binding) =
+  drop_replica s b.Types.home;
+  s.binding_table <- b :: s.binding_table
+
 let remove_binding t home =
   t.binding_table <-
     List.filter
       (fun b -> not (Ipv4_addr.equal b.Types.home home))
       t.binding_table;
   Net.unclaim_address t.ha_node home;
-  Net.remove_proxy_arp t.ha_node t.home_iface home
+  Net.remove_proxy_arp t.ha_node t.home_iface home;
+  (* Soft-state replication: mirror live removals to the standby.  Crash
+     teardown (up already false) must NOT wipe the replica — it is exactly
+     what the standby serves from after taking over. *)
+  match t.standby with
+  | Some s when t.up -> drop_replica s home
+  | Some _ | None -> ()
 
 (* Expiry is lazy: an expired binding stops matching the moment it is next
    consulted, and its proxy-ARP/claim state is torn down then.  (A timer
@@ -69,7 +98,10 @@ let install_binding t (b : Types.binding) =
   Net.add_proxy_arp t.ha_node t.home_iface b.Types.home;
   (* Update caches of hosts and routers on the home segment so traffic for
      the mobile host now reaches us (gratuitous proxy ARP, RFC 1027). *)
-  Net.gratuitous_arp t.ha_node t.home_iface b.Types.home
+  Net.gratuitous_arp t.ha_node t.home_iface b.Types.home;
+  match t.standby with
+  | Some s when t.up -> store_replica s b
+  | Some _ | None -> ()
 
 (* Eager counterpart to the lazy expiry above: sweep the whole table once,
    tearing down proxy-ARP/claim state for every expired binding.  Lazy
@@ -234,8 +266,20 @@ let relay_multicast t ~flow (pkt : Ipv4_packet.t) =
     subscribers;
   subscribers <> []
 
+(* The service address a packet may legitimately address us by: our own
+   interface address, plus — while a takeover is in force — the crashed
+   primary's address, which we have claimed so that registration renewals
+   and Out-IE reverse tunnels keep working unmodified. *)
+let serves_address t dst =
+  Ipv4_addr.equal dst (address t)
+  ||
+  match t.standby_of with
+  | Some p when t.standby_active -> Ipv4_addr.equal dst (address p)
+  | Some _ | None -> false
+
 let intercept t ~flow (pkt : Ipv4_packet.t) =
   if not t.up then false
+  else if is_passive_standby t then false
   else if Ipv4_addr.is_multicast pkt.Ipv4_packet.dst then
     relay_multicast t ~flow pkt
   else
@@ -258,7 +302,7 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
       maybe_notify t ~correspondent:pkt.Ipv4_packet.src b;
       true
   | None -> (
-      if not (Ipv4_addr.equal pkt.Ipv4_packet.dst (address t)) then false
+      if not (serves_address t pkt.Ipv4_packet.dst) then false
       else
         match Encap.unwrap pkt with
         | None -> false
@@ -305,6 +349,13 @@ let create ha_node ~home_iface ?(auth_key = "secret") ?(encap = Encap.Ipip)
       mcast_relayed = 0;
       up = true;
       purged = 0;
+      standby = None;
+      standby_of = None;
+      standby_active = false;
+      detect_interval = 2.0;
+      detect_timeout = 5.0;
+      takeovers = 0;
+      last_failover = None;
     }
   in
   let udp = Transport.Udp_service.get ha_node in
@@ -328,14 +379,119 @@ let unsubscribe_multicast t ~group ~home =
 
 let multicast_packets_relayed t = t.mcast_relayed
 
+(* {1 Redundancy: a hot-standby peer}
+
+   The standby keeps a passive replica of the primary's binding table
+   (soft-state replication on every install/remove).  A bounded detection
+   tick on the standby's engine watches the primary's liveness — the
+   deterministic stand-in for a heartbeat protocol.  When the primary has
+   been continuously down for [detect_timeout], the standby takes over: it
+   claims the primary's service address (so registration renewals and
+   Out-IE reverse tunnels addressed to the old agent reach it) and
+   re-establishes proxy ARP for every replicated binding. *)
+
+let is_standby_active t = t.standby_active
+let takeovers t = t.takeovers
+let last_failover t = t.last_failover
+
+let take_over s ~(primary : t) ~detected_at =
+  s.standby_active <- true;
+  s.takeovers <- s.takeovers + 1;
+  s.last_failover <- Some (Net.node_now s.ha_node -. detected_at);
+  let svc = address primary in
+  Net.claim_address s.ha_node svc;
+  Net.add_proxy_arp s.ha_node s.home_iface svc;
+  Net.gratuitous_arp s.ha_node s.home_iface svc;
+  List.iter
+    (fun (b : Types.binding) ->
+      Net.claim_address s.ha_node b.Types.home;
+      Net.add_proxy_arp s.ha_node s.home_iface b.Types.home;
+      Net.gratuitous_arp s.ha_node s.home_iface b.Types.home)
+    s.binding_table
+
+(* Failback: release every address the takeover captured {e before} the
+   primary re-installs anything, so at no instant do both agents proxy the
+   same home address.  The (possibly refreshed) bindings are handed back;
+   [install_binding] on the primary re-claims each with a fresh gratuitous
+   proxy ARP and re-seeds the replica. *)
+let stand_down s ~(primary : t) =
+  if s.standby_active then begin
+    s.standby_active <- false;
+    let svc = address primary in
+    Net.unclaim_address s.ha_node svc;
+    Net.remove_proxy_arp s.ha_node s.home_iface svc;
+    let handed_back = s.binding_table in
+    List.iter
+      (fun (b : Types.binding) ->
+        Net.unclaim_address s.ha_node b.Types.home;
+        Net.remove_proxy_arp s.ha_node s.home_iface b.Types.home)
+      handed_back;
+    List.iter (fun b -> install_binding primary b) handed_back
+  end
+
+(* (Re)arm the bounded liveness tick.  Separate from [pair] because a
+   full event-queue drain runs {e through} any pending timer chain: a
+   world that settles (drains) between construction and the interesting
+   phase consumes the whole budget settling.  Callers re-arm after each
+   settling drain. *)
+let watch s ?(ticks = 60) () =
+  match s.standby_of with
+  | None -> invalid_arg "Home_agent.watch: not paired as a standby"
+  | Some primary ->
+      let down_since = ref None in
+      let eng = Net.node_engine s.ha_node in
+      let rec tick remaining =
+        if remaining > 0 then
+          Engine.after eng s.detect_interval (fun () ->
+              (if s.up then
+                 if primary.up then down_since := None
+                 else
+                   let now = Net.node_now s.ha_node in
+                   match !down_since with
+                   | None -> down_since := Some now
+                   | Some t0 ->
+                       if
+                         (not s.standby_active)
+                         && now -. t0 >= s.detect_timeout
+                       then take_over s ~primary ~detected_at:t0);
+              tick (remaining - 1))
+      in
+      tick ticks
+
+let pair ~(primary : t) ~(standby : t) ?(detect_interval = 2.0)
+    ?(detect_timeout = 5.0) ?(watch_now = true) ?(ticks = 60) () =
+  if primary == standby then
+    invalid_arg "Home_agent.pair: an agent cannot stand by for itself";
+  if primary.standby <> None || standby.standby_of <> None then
+    invalid_arg "Home_agent.pair: already paired";
+  if detect_interval <= 0.0 || detect_timeout < 0.0 then
+    invalid_arg "Home_agent.pair: detection parameters must be positive";
+  primary.standby <- Some standby;
+  standby.standby_of <- Some primary;
+  standby.detect_interval <- detect_interval;
+  standby.detect_timeout <- detect_timeout;
+  (* Seed the replica with whatever the primary already holds. *)
+  List.iter (fun b -> store_replica standby b) primary.binding_table;
+  if watch_now then watch standby ~ticks ()
+
 (* Crash/restart: the binding table is soft state kept in memory — a crash
    loses all of it, along with the proxy-ARP footprint on the home segment
    and the notification rate-limiter.  Recovery relies entirely on mobile
-   hosts re-registering (their keepalive retry loop). *)
+   hosts re-registering (their keepalive retry loop) — or, when a standby
+   is paired, on its takeover. *)
 let crash t =
   t.up <- false;
   List.iter (fun b -> remove_binding t b.Types.home) t.binding_table;
   Hashtbl.reset t.last_notified
 
-let restart t = t.up <- true
+let restart t =
+  t.up <- true;
+  match t.standby with
+  | Some s ->
+      stand_down s ~primary:t;
+      (* Reclaim the segment's ARP caches for our own service address,
+         overwriting the standby's takeover announcement. *)
+      Net.gratuitous_arp t.ha_node t.home_iface (address t)
+  | None -> ()
+
 let is_up t = t.up

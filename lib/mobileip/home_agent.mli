@@ -82,7 +82,63 @@ val bindings_purged : t -> int
 
 val crash : t -> unit
 val restart : t -> unit
+(** Bring the agent back up.  If a standby took over in the meantime it
+    stands down first — releasing every captured address {e before} this
+    agent re-installs the (possibly refreshed) bindings it hands back, so
+    at no instant do both agents proxy the same home address. *)
+
 val is_up : t -> bool
+
+(** {1 Redundancy}
+
+    A second home agent on the same segment can be paired as a hot
+    standby.  The primary replicates every binding install/remove to the
+    standby's passive replica (soft-state replication; a crash does not
+    wipe the replica).  The standby polls the primary's liveness — the
+    deterministic stand-in for a heartbeat protocol — and after observing
+    it continuously down for [detect_timeout] it takes over: it claims the
+    primary's service address (registration renewals and Out-IE reverse
+    tunnels keep working unmodified) and re-establishes gratuitous proxy
+    ARP for every replicated binding.  Until then the standby is inert on
+    the data plane: no interception, no proxy ARP, no claims. *)
+
+val pair :
+  primary:t ->
+  standby:t ->
+  ?detect_interval:float ->
+  ?detect_timeout:float ->
+  ?watch_now:bool ->
+  ?ticks:int ->
+  unit ->
+  unit
+(** Pair [standby] with [primary]: link the two, record the detection
+    parameters, seed the replica, and (unless [~watch_now:false]) start
+    the liveness tick via {!watch}.  Detection: every [detect_interval]
+    seconds (default 2), takeover once the primary has been down
+    [detect_timeout] seconds (default 5).  Worst-case takeover latency
+    from the crash instant is therefore
+    [detect_timeout +. 2. *. detect_interval].
+    @raise Invalid_argument if either agent is already paired, the two are
+    the same agent, or the detection parameters are not positive. *)
+
+val watch : t -> ?ticks:int -> unit -> unit
+(** (Re)arm the standby's bounded liveness tick for [ticks] periods
+    (default 60) of its detection interval.  The tick chain is a pending
+    timer, so a full event-queue drain runs through (and exhausts) it:
+    call this again after each settling drain, before the phase whose
+    crashes the standby must cover.
+    @raise Invalid_argument unless this agent was paired as a standby. *)
+
+val is_standby_active : t -> bool
+(** Whether this (standby) agent is currently serving in the crashed
+    primary's stead. *)
+
+val takeovers : t -> int
+(** How many times this standby has taken over. *)
+
+val last_failover : t -> float option
+(** Detection latency of the most recent takeover: seconds from first
+    observing the primary down to assuming service. *)
 
 (** {1 Multicast relay (§6.4)} *)
 

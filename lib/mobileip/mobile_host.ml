@@ -51,6 +51,12 @@ type t = {
   mutable auto_attach : bool;
   mutable attaching : bool;  (* a DHCP attach is in flight *)
   mutable auto_attach_count : int;
+  mutable degrade_to : Grid.out_method option;
+      (* policy: when a registration finally fails away from home, fall
+         back to this direct method instead of black-holing on Out-IE *)
+  mutable degraded : bool;  (* the fallback is currently in force *)
+  mutable icmp_consumed : int;
+      (* destination-unreachable errors acted on as negative feedback *)
 }
 
 let node t = t.mh_node
@@ -72,6 +78,19 @@ let pin_method t ~dst m =
   | Some m -> Hashtbl.replace t.pinned dst m
   | None -> Hashtbl.remove t.pinned dst
 
+let set_degradation t m =
+  (match m with
+  | Some Grid.Out_IE | Some Grid.Out_DE ->
+      invalid_arg
+        "Mobile_host.set_degradation: only the direct methods Out-DH/Out-DT \
+         make sense without a home-agent binding"
+  | Some Grid.Out_DH | Some Grid.Out_DT | None -> ());
+  t.degrade_to <- m;
+  if m = None then t.degraded <- false
+
+let degradation t = t.degrade_to
+let degraded t = t.degraded
+let icmp_errors_consumed t = t.icmp_consumed
 let set_privacy t b = t.privacy_mode <- b
 let privacy t = t.privacy_mode
 let set_heuristics t hs = t.heuristic_list <- hs
@@ -107,9 +126,16 @@ let out_method_for t ~dst =
     | None -> (
         if on_link t dst then Grid.Out_DH
         else
-          match t.sel with
-          | Some sel -> Selector.method_for sel dst
-          | None -> t.default)
+          match t.degrade_to with
+          | Some m when t.degraded && not t.is_registered ->
+              (* Registration failed for good: no home-agent binding backs
+                 Out-IE, so run the configured direct fallback until a
+                 registration succeeds again. *)
+              m
+          | Some _ | None -> (
+              match t.sel with
+              | Some sel -> Selector.method_for sel dst
+              | None -> t.default))
 
 let choose_source t ?tcp_port () =
   match t.loc with
@@ -299,6 +325,7 @@ let rec register ?src ?reg_dst t ~care_of ~lifetime ?(on_result = fun _ -> ())
               ~port:Transport.Well_known.mip_registration;
             let ok = reply.Registration.r_code = Types.Reg_accepted in
             t.is_registered <- (ok && lifetime > 0);
+            if ok then t.degraded <- false;
             if ok && lifetime > 0 then schedule_renewal t;
             on_result ok
           end);
@@ -319,6 +346,12 @@ let rec register ?src ?reg_dst t ~care_of ~lifetime ?(on_result = fun _ -> ())
         t.reg_failures <- t.reg_failures + 1;
         t.last_reg_failure <- Some (Net.node_now t.mh_node);
         invalidate_correspondents t;
+        (* Graceful degradation (§7.1.2): rather than black-holing on a
+           tunnel no agent terminates, switch to the configured direct
+           method until a later registration succeeds. *)
+        (match (t.loc, t.degrade_to) with
+        | Away _, Some _ -> t.degraded <- true
+        | (At_home | Away _), _ -> ());
         on_result false
       end
       else begin
@@ -588,9 +621,33 @@ let create mh_node ~iface ~home ~home_prefix ~home_agent
       auto_attach = false;
       attaching = false;
       auto_attach_count = 0;
+      degrade_to = None;
+      degraded = false;
+      icmp_consumed = 0;
     }
   in
   Net.set_route_override mh_node (Some (fun pkt -> override t pkt));
   Net.set_intercept mh_node (Some (fun ~flow pkt -> intercept t ~flow pkt));
-  let (_ : Transport.Icmp_service.t) = Transport.Icmp_service.get mh_node in
+  let icmp = Transport.Icmp_service.get mh_node in
+  (* Destination-unreachable errors are fast negative feedback for the
+     selector: the quoted context names the destination whose current
+     delivery method a router refused, so that method is abandoned
+     immediately instead of after several retransmission timeouts. *)
+  Transport.Icmp_service.on_unreachable icmp
+    (Some
+       (fun ~code ~src:_ ~original ->
+         match code with
+         | Icmp_wire.Admin_prohibited | Icmp_wire.Host_unreachable
+         | Icmp_wire.Net_unreachable -> (
+             t.icmp_consumed <- t.icmp_consumed + 1;
+             match (t.sel, original) with
+             | Some sel, Some (_, dst)
+               when (not (Ipv4_addr.equal dst t.home_agent))
+                    && not (Ipv4_addr.equal dst t.home) ->
+                 Selector.report sel ~dst Selector.Icmp_error
+             | _ -> ())
+         | Icmp_wire.Protocol_unreachable | Icmp_wire.Port_unreachable
+         | Icmp_wire.Fragmentation_needed ->
+             (* end-to-end / MTU conditions: not a method failure *)
+             ()));
   t

@@ -181,6 +181,25 @@ val set_privacy : t -> bool -> unit
 
 val privacy : t -> bool
 
+val set_degradation : t -> Grid.out_method option -> unit
+(** Degradation policy: when a registration away from home finally fails
+    (retry budget exhausted, no confirmed binding), fall back to this
+    direct method — [Out_DH] (home source, works where no source filter
+    blocks it) or [Out_DT] (care-of source, always deliverable but
+    breaks connection survival) — instead of black-holing on a tunnel no
+    agent terminates.  The fallback stays in force until a registration
+    succeeds again.  [None] (the default) keeps the seed behaviour.
+    @raise Invalid_argument for [Out_IE]/[Out_DE]: encapsulating methods
+    need exactly the infrastructure whose loss triggers degradation. *)
+
+val degradation : t -> Grid.out_method option
+val degraded : t -> bool
+(** Whether the degradation fallback is currently in force (a registration
+    failed for good and none has succeeded since). *)
+
+val icmp_errors_consumed : t -> int
+(** Destination-unreachable errors consumed as negative feedback. *)
+
 type heuristic = Netsim.Ipv4_packet.t -> bool
 (** Applied to unbound outgoing packets; [true] means "safe to forgo
     Mobile IP for this packet" (Out-DT). *)

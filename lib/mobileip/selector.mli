@@ -33,14 +33,26 @@ type event =
           the current method is working *)
   | Retransmission_detected
       (** a retransmission was sent to, or received from, the peer *)
+  | Icmp_error
+      (** a router answered a packet to the peer with an ICMP
+          destination-unreachable: authoritative negative feedback, so
+          the current method is abandoned immediately rather than after
+          [fallback_after] retransmission hints *)
 
 type t
 
 val create :
-  ?escalate_after:int -> ?fallback_after:int -> strategy -> t
+  ?escalate_after:int ->
+  ?fallback_after:int ->
+  ?max_destinations:int ->
+  strategy ->
+  t
 (** [escalate_after] consecutive successes trigger a try of the next more
     aggressive method (default 4); [fallback_after] consecutive
-    retransmission signals abandon the current method (default 2). *)
+    retransmission signals abandon the current method (default 2).
+    [max_destinations] (default 1024) caps the per-destination table:
+    beyond it the least recently used destination is evicted and, if seen
+    again, restarts from the strategy's initial method. *)
 
 val strategy : t -> strategy
 

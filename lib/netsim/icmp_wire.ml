@@ -119,6 +119,17 @@ let decode buf =
                })
     | t -> Error (Printf.sprintf "icmp: unknown type %d" t)
 
+let quote_context wire =
+  let n = Bytes.length wire in
+  if n < 1 then Bytes.create 0
+  else
+    let ihl = (Char.code (Bytes.get wire 0) land 0x0f) * 4 in
+    Bytes.sub wire 0 (min n (ihl + 8))
+
+let context_original ctx =
+  if Bytes.length ctx < 20 then None
+  else Some (get_addr ctx 12, get_addr ctx 16)
+
 let equal a b =
   match (a, b) with
   | Echo_request x, Echo_request y ->

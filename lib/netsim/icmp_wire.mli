@@ -30,6 +30,17 @@ type t =
 val care_of_advert_type : int
 (** The ICMP type number (40) used for the care-of advertisement. *)
 
+val quote_context : Bytes.t -> Bytes.t
+(** [quote_context wire] extracts the RFC 792 error context from an encoded
+    IPv4 datagram: the IP header (per its IHL field) plus the first 8 bytes
+    of payload, truncated to the datagram's actual length.  Use as the
+    [context] of a {!Dest_unreachable} or {!Time_exceeded}. *)
+
+val context_original : Bytes.t -> (Ipv4_addr.t * Ipv4_addr.t) option
+(** [context_original context] recovers the (source, destination) addresses
+    of the offending datagram quoted in an error [context], or [None] when
+    the context is too short to contain a full IP header. *)
+
 val byte_length : t -> int
 val encode : t -> Bytes.t
 val decode : Bytes.t -> (t, string) result

@@ -11,6 +11,19 @@ type t = {
   mutable next_flow : int;
   mutable fault_hook :
     (link:string -> src:string -> dst:string -> fault_verdict) option;
+  mutable icmp_errors : icmp_errors option;
+      (* ICMP error signaling config; None (the default) keeps every drop
+         silent and costs the fast path a single field load. *)
+}
+
+(* Opt-in ICMP error signaling: per-(node, offender) hold-down with a
+   seeded LCG jitter so error emission is deterministic yet a packet storm
+   cannot amplify into a synchronized error storm. *)
+and icmp_errors = {
+  err_min_interval : float;
+  mutable err_lcg : int;
+  mutable errors_sent : int;
+  err_recent : (string * Ipv4_addr.t, float) Hashtbl.t;
 }
 
 and node = {
@@ -107,9 +120,31 @@ let create () =
     next_frame = 0;
     next_flow = 0;
     fault_hook = None;
+    icmp_errors = None;
   }
 
 let set_fault_hook t f = t.fault_hook <- f
+
+let enable_error_signaling ?(min_interval = 1.0) ?(seed = 0x1c3e) t =
+  if min_interval < 0.0 then
+    invalid_arg "Net: error-signaling min_interval must be >= 0";
+  let errors_sent =
+    match t.icmp_errors with Some c -> c.errors_sent | None -> 0
+  in
+  t.icmp_errors <-
+    Some
+      {
+        err_min_interval = min_interval;
+        err_lcg = seed land 0x3fffffff;
+        errors_sent;
+        err_recent = Hashtbl.create 32;
+      }
+
+let disable_error_signaling t = t.icmp_errors <- None
+let error_signaling t = t.icmp_errors <> None
+
+let icmp_errors_sent t =
+  match t.icmp_errors with None -> 0 | Some c -> c.errors_sent
 
 (* When on, every forwarding hop cross-checks the RFC 1624 incremental
    checksum against a full field-wise recompute.  Global (not per-world):
@@ -517,14 +552,18 @@ and arp_request_retry out next_hop =
         (fun (_, frame) ->
           match frame.content with
           | Ip pkt ->
-              if tracing node then
-                record node
-                (Trace.Drop
-                   {
-                     node = node.name;
-                     reason = Trace.Arp_unresolved;
-                     frame = frame_info frame pkt;
-                   })
+              (if tracing node then
+                 record node
+                   (Trace.Drop
+                      {
+                        node = node.name;
+                        reason = Trace.Arp_unresolved;
+                        frame = frame_info frame pkt;
+                      }));
+              (* Dead next hop: three unanswered ARP requests.  Signal the
+                 sender rather than black-holing the queued packets. *)
+              send_icmp_error node ~reason:Trace.Arp_unresolved
+                ~code:Icmp_wire.Host_unreachable ~src:out.addr pkt
           | Arp_msg _ -> ())
         pending.queued
   | Some pending ->
@@ -643,9 +682,14 @@ and ip_input iface frame pkt =
   let node = iface.owner in
   match Filter.evaluate node.policy ~in_iface:iface.ifname pkt with
   | Filter.Reject reason ->
-      if tracing node then
-        record node
-        (Trace.Drop { node = node.name; reason; frame = frame_info frame pkt })
+      (if tracing node then
+         record node
+           (Trace.Drop
+              { node = node.name; reason; frame = frame_info frame pkt }));
+      (* §7.1.2: a filtering router that signals its refusal lets the
+         sender adapt its delivery method instead of timing out. *)
+      send_icmp_error node ~reason ~code:Icmp_wire.Admin_prohibited
+        ~src:iface.addr pkt
   | Filter.Pass ->
       let dst = pkt.Ipv4_packet.dst in
       let local =
@@ -749,18 +793,23 @@ and forward node in_iface frame pkt =
 and forward_routed node in_iface frame ~csum pkt =
   (match Routing.lookup node.table pkt.Ipv4_packet.dst with
       | None ->
-          if tracing node then
-            record node
-            (Trace.Drop
-               { node = node.name; reason = Trace.No_route; frame = frame_info frame pkt })
+          (if tracing node then
+             record node
+               (Trace.Drop
+                  { node = node.name; reason = Trace.No_route;
+                    frame = frame_info frame pkt }));
+          send_icmp_error node ~reason:Trace.No_route
+            ~code:Icmp_wire.Host_unreachable ~src:in_iface.addr pkt
       | Some route -> (
           match find_iface node route.Routing.iface with
           | None ->
-              if tracing node then
-                record node
-                (Trace.Drop
-                   { node = node.name; reason = Trace.No_route;
-                     frame = frame_info frame pkt })
+              (if tracing node then
+                 record node
+                   (Trace.Drop
+                      { node = node.name; reason = Trace.No_route;
+                        frame = frame_info frame pkt }));
+              send_icmp_error node ~reason:Trace.No_route
+                ~code:Icmp_wire.Host_unreachable ~src:in_iface.addr pkt
           | Some out ->
               if tracing node then
                 record node
@@ -784,6 +833,60 @@ and forward_routed node in_iface frame ~csum pkt =
                 Engine.after node.net.engine node.option_penalty (fun () ->
                     ip_output node ~out ~next_hop ~flow:frame.flow ~csum pkt)
               else ip_output node ~out ~next_hop ~flow:frame.flow ~csum pkt))
+
+(* Answer a drop with a real RFC 792 error quoting the offending datagram
+   (IP header + 8 payload bytes), so senders get fast negative feedback
+   instead of a silent black hole.  Opt-in per net
+   ([enable_error_signaling]); never errors about ICMP, unspecified,
+   broadcast or multicast traffic; held down per (node, offender) with
+   seeded jitter. *)
+and send_icmp_error node ~reason ~code ~src pkt =
+  match node.net.icmp_errors with
+  | None -> ()
+  | Some cfg ->
+      let offender = pkt.Ipv4_packet.src in
+      if
+        pkt.Ipv4_packet.protocol <> Ipv4_packet.P_icmp
+        && (not (Ipv4_addr.equal src Ipv4_addr.any))
+        && (not (Ipv4_addr.equal offender Ipv4_addr.any))
+        && (not (Ipv4_addr.equal offender Ipv4_addr.broadcast))
+        && (not (Ipv4_addr.is_multicast offender))
+        && (not (Ipv4_addr.equal pkt.Ipv4_packet.dst Ipv4_addr.broadcast))
+        && not (Ipv4_addr.is_multicast pkt.Ipv4_packet.dst)
+      then begin
+        let key = (node.name, offender) in
+        let t_now = now node.net in
+        let due =
+          match Hashtbl.find_opt cfg.err_recent key with
+          | None -> true
+          | Some last ->
+              cfg.err_lcg <-
+                ((cfg.err_lcg * 1103515245) + 12345) land 0x3fffffff;
+              let jitter = float_of_int cfg.err_lcg /. 1073741824.0 in
+              t_now -. last
+              >= cfg.err_min_interval *. (1.0 +. (0.25 *. jitter))
+        in
+        if due then begin
+          Hashtbl.replace cfg.err_recent key t_now;
+          cfg.errors_sent <- cfg.errors_sent + 1;
+          let context = Icmp_wire.quote_context (Ipv4_packet.encode pkt) in
+          let icmp = Icmp_wire.Dest_unreachable { code; context } in
+          let reply =
+            Ipv4_packet.make ~protocol:Ipv4_packet.P_icmp ~src ~dst:offender
+              (Ipv4_packet.Icmp icmp)
+          in
+          let flow = new_flow node.net in
+          if tracing node then
+            record node
+              (Trace.Icmp_error
+                 {
+                   node = node.name;
+                   reason;
+                   frame = { Trace.id = 0; flow; pkt = reply };
+                 });
+          originate node ~flow reply
+        end
+      end
 
 (* Origin transmission: loopback, override hook, routing table. *)
 and originate ?(depth = 0) node ~flow ?via ?l2_dst pkt =

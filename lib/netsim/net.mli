@@ -244,6 +244,34 @@ val set_checksum_debug : bool -> unit
     incremental header-checksum update against a full field-wise recompute
     and fails loudly on divergence.  Global; used by the test suite. *)
 
+(** {1 ICMP error signaling}
+
+    Off by default: filtering routers, routers with no route, and nodes
+    whose ARP retries exhaust all drop packets silently, exactly like the
+    seed behaviour.  When enabled on a world, those three drop points
+    answer with a real RFC 792 destination-unreachable quoting the
+    offending datagram's IP header plus 8 payload bytes —
+    [Admin_prohibited] for filter rejections, [Host_unreachable] for
+    missing routes and dead (ARP-unresolvable) next hops — so senders get
+    fast negative feedback they can adapt to (§7.1.2).  Emission is held
+    down per (node, offender) with deterministic seeded jitter, and never
+    answers ICMP, unspecified, broadcast or multicast traffic.  Each
+    emission is traced as {!Trace.Icmp_error} when tracing is on. *)
+
+val enable_error_signaling : ?min_interval:float -> ?seed:int -> t -> unit
+(** Turn on ICMP error signaling for this world.  [min_interval] (default
+    1.0 s) is the per-(node, offender) hold-down, jittered up to +25% by a
+    generator seeded with [seed].  Re-enabling keeps the sent counter but
+    resets the hold-down state.
+    @raise Invalid_argument if [min_interval] is negative. *)
+
+val disable_error_signaling : t -> unit
+(** Back to silent drops (and the sent counter reads 0 again). *)
+
+val error_signaling : t -> bool
+val icmp_errors_sent : t -> int
+(** ICMP errors emitted since signaling was enabled (0 while disabled). *)
+
 (** {1 Fault injection}
 
     The data plane consults an optional per-network hook for every frame

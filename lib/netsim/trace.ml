@@ -47,6 +47,7 @@ type event =
   | Deliver of { node : string; frame : frame_info }
   | Encapsulate of { node : string; frame : frame_info }
   | Decapsulate of { node : string; frame : frame_info }
+  | Icmp_error of { node : string; reason : drop_reason; frame : frame_info }
 
 type record = { time : float; event : event }
 
@@ -103,7 +104,8 @@ let frame_of = function
   | Drop { frame; _ }
   | Deliver { frame; _ }
   | Encapsulate { frame; _ }
-  | Decapsulate { frame; _ } ->
+  | Decapsulate { frame; _ }
+  | Icmp_error { frame; _ } ->
       frame
 
 let flow_entry t flow =
@@ -224,6 +226,9 @@ let pp_event fmt = function
       Format.fprintf fmt "encap   %-8s %a" node pp_frame frame
   | Decapsulate { node; frame } ->
       Format.fprintf fmt "decap   %-8s %a" node pp_frame frame
+  | Icmp_error { node; reason; frame } ->
+      Format.fprintf fmt "icmperr %-8s %a %a" node pp_drop_reason reason
+        pp_frame frame
 
 let pp_record fmt r = Format.fprintf fmt "%8.4f %a" r.time pp_event r.event
 

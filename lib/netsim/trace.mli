@@ -48,8 +48,16 @@ type event =
       (** [frame] is the new outer frame; its [flow] is inherited. *)
   | Decapsulate of { node : string; frame : frame_info }
       (** [frame] is the revealed inner frame. *)
+  | Icmp_error of { node : string; reason : drop_reason; frame : frame_info }
+      (** [node] originated an ICMP error in response to a drop with
+          [reason]; [frame] is the generated error packet (its payload
+          quotes the offending datagram).  Emitted only when error
+          signaling is enabled on the net ({!Net.enable_error_signaling}). *)
 
 type record = { time : float; event : event }
+
+val frame_of : event -> frame_info
+(** The frame an event is about, whatever its constructor. *)
 
 type t
 

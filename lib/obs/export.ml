@@ -153,6 +153,10 @@ let json_of_record (r : Trace.record) =
           ("node", Json.String node);
           frame f;
         ]
+    | Trace.Icmp_error { node; reason; frame = f } ->
+        [ ("type", Json.String "icmp-error"); ("node", Json.String node) ]
+        @ drop_reason_fields reason
+        @ [ frame f ]
   in
   Json.Obj (("t", Json.Float r.Trace.time) :: fields)
 
@@ -199,6 +203,11 @@ let record_of_json j =
         let* node = node () in
         let* frame = frame () in
         Ok (Trace.Decapsulate { node; frame })
+    | "icmp-error" ->
+        let* node = node () in
+        let* reason = drop_reason_of_json j in
+        let* frame = frame () in
+        Ok (Trace.Icmp_error { node; reason; frame })
     | other -> Error (Printf.sprintf "unknown event type %S" other)
   in
   Ok { Trace.time; event }

@@ -29,17 +29,7 @@ let of_flow trace ~flow =
   let delivered_to = ref [] in
   List.iter
     (fun r ->
-      let frame =
-        match r.Trace.event with
-        | Trace.Send { frame; _ }
-        | Trace.Transmit { frame; _ }
-        | Trace.Forward { frame; _ }
-        | Trace.Drop { frame; _ }
-        | Trace.Deliver { frame; _ }
-        | Trace.Encapsulate { frame; _ }
-        | Trace.Decapsulate { frame; _ } ->
-            frame
-      in
+      let frame = Trace.frame_of r.Trace.event in
       let depth = packet_depth frame.Trace.pkt in
       if depth > !encap_depth then encap_depth := depth;
       match r.Trace.event with

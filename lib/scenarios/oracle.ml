@@ -122,6 +122,60 @@ let add_selector_discipline t =
                 (Mobileip.Grid.out_to_string m))
             offender)
 
+(* Failover discipline for worlds with a paired standby home agent:
+   (a) the two agents never proxy-ARP for the same address at the same
+   time (the failback ordering guarantees this), and (b) a crashed
+   primary does not stay uncovered — the standby must take over within
+   [grace] of the crash becoming observable.  No-op without a standby. *)
+let add_ha_failover ?(grace = 10.0) t =
+  let w = t.world in
+  match w.Topo.ha_standby with
+  | None -> ()
+  | Some standby ->
+      let down_since = ref None in
+      Invariant.add_check t.inv ~name:"ha-failover-recovery" (fun () ->
+          let now = Net.now w.Topo.net in
+          let primary = w.Topo.ha in
+          let p_entries =
+            Net.proxy_arp_entries (Mobileip.Home_agent.node primary)
+          in
+          let s_entries =
+            Net.proxy_arp_entries (Mobileip.Home_agent.node standby)
+          in
+          let dup =
+            List.find_opt
+              (fun a -> List.exists (Ipv4_addr.equal a) s_entries)
+              p_entries
+          in
+          match dup with
+          | Some a ->
+              Some
+                (Printf.sprintf
+                   "both home agents proxy-ARP for %s at %.3f"
+                   (Ipv4_addr.to_string a) now)
+          | None ->
+              if Mobileip.Home_agent.is_up primary then begin
+                down_since := None;
+                None
+              end
+              else begin
+                (match !down_since with
+                | None -> down_since := Some now
+                | Some _ -> ());
+                let t0 = Option.get !down_since in
+                if
+                  Mobileip.Home_agent.is_standby_active standby
+                  || not (Mobileip.Home_agent.is_up standby)
+                  || now -. t0 <= grace
+                then None
+                else
+                  Some
+                    (Printf.sprintf
+                       "primary home agent down since %.3f but the standby \
+                        has not taken over by %.3f (grace %.1f s)"
+                       t0 now grace)
+              end)
+
 let add_recovery ~after t =
   let w = t.world in
   Invariant.add_final t.inv ~name:"eventual-recovery" (fun () ->
@@ -162,6 +216,7 @@ let install_standard ?recovery_after t =
   add_withdrawal t;
   add_proxy_arp t;
   add_selector_discipline t;
+  add_ha_failover t;
   Option.iter (fun after -> add_recovery ~after t) recovery_after
 
 let start ?interval ?ticks t = Invariant.start t.inv ?interval ?ticks ()

@@ -15,6 +15,9 @@
       with the binding table — no entry lingers without a valid binding;
     - {e selector-discipline}: the mobile host never sends via an
       outgoing method its selector has recorded as failed;
+    - {e ha-failover-recovery}: with a standby home agent paired, the two
+      agents never proxy-ARP for the same address simultaneously, and a
+      crashed primary is covered by the standby within a grace period;
     - {e eventual-recovery}: once the last scripted fault is over, the
       mobile host ends the run registered (or home);
     - {e tcp-stream}: application bytes arrive in order, without
@@ -52,6 +55,15 @@ val add_proxy_arp : ?grace:float -> t -> unit
 val add_selector_discipline : t -> unit
 (** Polled.  No-op until a selector is installed on the mobile host. *)
 
+val add_ha_failover : ?grace:float -> t -> unit
+(** Polled; no-op unless the world was built with a standby home agent.
+    Violated when (a) primary and standby proxy-ARP for the same address
+    at the same instant (the failback ordering must prevent this), or
+    (b) the primary has been observably down for more than [grace]
+    (default 10 s — wider than the default detection timeout of 5 s plus
+    two 2 s detection intervals) while the healthy standby has still not
+    taken over. *)
+
 val add_recovery : after:float -> t -> unit
 (** Final.  [after] is when the last scripted fault ends
     ({!Netsim.Fault.plan_end}); the bound is the run itself — by the time
@@ -69,9 +81,10 @@ val add_tcp_stream :
     ["tcp-stream"]) distinguishes multiple monitored connections. *)
 
 val install_standard : ?recovery_after:float -> t -> unit
-(** The four polled invariants, plus eventual recovery when
-    [?recovery_after] is given.  (TCP stream monitors need a connection,
-    so they are always explicit.) *)
+(** The polled invariants above (the failover one arms itself only in
+    standby worlds), plus eventual recovery when [?recovery_after] is
+    given.  (TCP stream monitors need a connection, so they are always
+    explicit.) *)
 
 (** {1 Running} — thin wrappers over {!Netsim.Invariant}. *)
 

@@ -23,6 +23,7 @@ type t = {
   home_segment : Net.segment;
   home_router : Net.node;
   ha : Mobileip.Home_agent.t;
+  ha_standby : Mobileip.Home_agent.t option;
   visited_prefix : Ipv4_addr.Prefix.t;
   visited_segment : Net.segment;
   visited_router : Net.node;
@@ -50,7 +51,8 @@ let build ?(backbone_hops = 4) ?(ch_position = Remote)
     ?(notify_correspondents = false) ?(with_dns = false)
     ?(encap = Mobileip.Encap.Ipip) ?(link_latency = 0.010)
     ?(with_cellular = false) ?(mh_lifetime = 300) ?(mh_retry_base = 1.0)
-    ?(mh_retry_cap = 8.0) ?(mh_retry_limit = 6) () =
+    ?(mh_retry_cap = 8.0) ?(mh_retry_limit = 6) ?(with_standby_ha = false)
+    ?(standby_detect_interval = 2.0) ?(standby_detect_timeout = 5.0) () =
   if backbone_hops < 2 then invalid_arg "Topo.build: need >= 2 backbone hops";
   let net = Net.create () in
   let home_prefix = prefix "36.1.0.0/16" in
@@ -100,6 +102,32 @@ let build ?(backbone_hops = 4) ?(ch_position = Remote)
   let ha =
     Mobileip.Home_agent.create ha_node ~home_iface:ha_iface ~encap
       ~notify_correspondents ()
+  in
+
+  (* Optional hot-standby home agent on the same segment. *)
+  let ha_standby =
+    if not with_standby_ha then None
+    else begin
+      let ha2_node = Net.add_host net "ha2" in
+      let ha2_iface =
+        Net.attach ha2_node home_segment ~ifname:"eth0" ~addr:(addr "36.1.0.4")
+          ~prefix:home_prefix
+      in
+      Routing.add_default (Net.routing ha2_node) ~gateway:(addr "36.1.0.1")
+        ~iface:"eth0";
+      let ha2 =
+        Mobileip.Home_agent.create ha2_node ~home_iface:ha2_iface ~encap
+          ~notify_correspondents ()
+      in
+      (* Pair without arming the liveness tick: the world settles (fully
+         drains) at least once before any experiment phase, which would
+         consume the tick budget.  Callers arm with {!arm_standby} after
+         settling. *)
+      Mobileip.Home_agent.pair ~primary:ha ~standby:ha2
+        ~detect_interval:standby_detect_interval
+        ~detect_timeout:standby_detect_timeout ~watch_now:false ();
+      Some ha2
+    end
   in
 
   (* Visited domain off b(n-1). *)
@@ -320,6 +348,7 @@ let build ?(backbone_hops = 4) ?(ch_position = Remote)
     home_segment;
     home_router;
     ha;
+    ha_standby;
     visited_prefix;
     visited_segment;
     visited_router;
@@ -339,6 +368,11 @@ let build ?(backbone_hops = 4) ?(ch_position = Remote)
   }
 
 let run t = Net.run t.net
+
+let arm_standby ?ticks t =
+  match t.ha_standby with
+  | None -> ()
+  | Some s -> Mobileip.Home_agent.watch s ?ticks ()
 
 (* Chaos targets: the names the fault layer knows this world by.  Segment
    names and point-to-point link names as {!Netsim.Net} reports them to

@@ -51,6 +51,7 @@ type t = {
   home_segment : Netsim.Net.segment;
   home_router : Netsim.Net.node;
   ha : Mobileip.Home_agent.t;
+  ha_standby : Mobileip.Home_agent.t option;
   (* visited domain *)
   visited_prefix : Netsim.Ipv4_addr.Prefix.t;
   visited_segment : Netsim.Net.segment;
@@ -87,6 +88,9 @@ val build :
   ?mh_retry_base:float ->
   ?mh_retry_cap:float ->
   ?mh_retry_limit:int ->
+  ?with_standby_ha:bool ->
+  ?standby_detect_interval:float ->
+  ?standby_detect_timeout:float ->
   unit ->
   t
 (** Build the world.  Defaults: 4 backbone hops, [Remote] correspondent,
@@ -105,7 +109,21 @@ val build :
     telephone and modem ... at about 40 cents per minute") — a segment
     behind a 150 ms, 9600 bit/s, slightly lossy access link, with its own
     DHCP service in 166.4.0.0/16.  Move the MH there with
-    {!roam_cellular}. *)
+    {!roam_cellular}.
+
+    [?with_standby_ha] (default false) adds a second home agent "ha2" at
+    36.1.0.4 on the home segment, paired as a hot standby of [ha] via
+    {!Mobileip.Home_agent.pair} with the given detection interval
+    (default 2 s) and timeout (default 5 s).  The liveness tick is NOT
+    armed at build time — a settling drain would consume its budget; call
+    {!arm_standby} after the world settles, before the phase whose
+    crashes the standby must cover. *)
+
+val arm_standby : ?ticks:int -> t -> unit
+(** Arm (or re-arm) the standby home agent's liveness detection
+    ({!Mobileip.Home_agent.watch}); no-op for worlds built without
+    [~with_standby_ha:true].  The tick chain keeps the event queue alive
+    for [ticks * interval] simulated seconds (default 60 ticks). *)
 
 val roam : t -> ?on_registered:(bool -> unit) -> unit -> unit
 (** Move the mobile host to the visited segment (DHCP attachment) and

@@ -9,7 +9,11 @@ type t = {
   mutable care_of_listener :
     (home:Ipv4_addr.t -> care_of:Ipv4_addr.t -> lifetime:int -> unit) option;
   mutable unreachable_listener :
-    (code:Icmp_wire.unreach_code -> src:Ipv4_addr.t -> unit) option;
+    (code:Icmp_wire.unreach_code ->
+    src:Ipv4_addr.t ->
+    original:(Ipv4_addr.t * Ipv4_addr.t) option ->
+    unit)
+    option;
   mutable answered : int;
 }
 
@@ -40,9 +44,11 @@ let handle_icmp t node _in_iface (pkt : Ipv4_packet.t) =
           match t.care_of_listener with
           | Some f -> f ~home ~care_of ~lifetime
           | None -> ())
-      | Icmp_wire.Dest_unreachable { code; _ } -> (
+      | Icmp_wire.Dest_unreachable { code; context } -> (
           match t.unreachable_listener with
-          | Some f -> f ~code ~src:pkt.src
+          | Some f ->
+              f ~code ~src:pkt.src
+                ~original:(Icmp_wire.context_original context)
           | None -> ())
       | Icmp_wire.Time_exceeded _ -> ())
   | _ -> ()

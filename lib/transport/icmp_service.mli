@@ -34,9 +34,18 @@ val on_care_of_advert :
 
 val on_unreachable :
   t ->
-  (code:Netsim.Icmp_wire.unreach_code -> src:Netsim.Ipv4_addr.t -> unit)
+  (code:Netsim.Icmp_wire.unreach_code ->
+  src:Netsim.Ipv4_addr.t ->
+  original:(Netsim.Ipv4_addr.t * Netsim.Ipv4_addr.t) option ->
+  unit)
   option ->
   unit
+(** Install (or clear) the listener for destination-unreachable errors.
+    [src] is the error's sender (the signaling router); [original] is the
+    (source, destination) pair of the offending datagram recovered from
+    the quoted context, when the context carries a full IP header — this
+    is what lets the mobility layer map an error back to the destination
+    whose delivery method must change. *)
 
 val send_care_of_advert :
   t ->

@@ -215,7 +215,7 @@ let test_mtu_feedback_icmp () =
   let frag_needed = ref false in
   Transport.Icmp_service.on_unreachable icmp_s
     (Some
-       (fun ~code ~src:_ ->
+       (fun ~code ~src:_ ~original:_ ->
          if code = Icmp_wire.Fragmentation_needed then frag_needed := true));
   let pkt =
     Ipv4_packet.make ~dont_fragment:true ~protocol:Ipv4_packet.P_udp

@@ -129,6 +129,14 @@ let tunneled_packet () =
     ~dst:(addr "131.7.0.100")
     (Ipv4_packet.Encap (udp_packet ()))
 
+let icmp_error_packet () =
+  let context = Icmp_wire.quote_context (Ipv4_packet.encode (udp_packet ())) in
+  Ipv4_packet.make ~protocol:Ipv4_packet.P_icmp ~src:(addr "10.0.0.1")
+    ~dst:(addr "44.2.0.10")
+    (Ipv4_packet.Icmp
+       (Icmp_wire.Dest_unreachable
+          { code = Icmp_wire.Admin_prohibited; context }))
+
 let sample_trace () =
   let t = Trace.create () in
   let frame id flow pkt = { Trace.id; flow; pkt } in
@@ -149,6 +157,13 @@ let sample_trace () =
     (Trace.Drop { node = "vr"; reason = Trace.Ttl_expired; frame = outer });
   Trace.record t ~time:0.007 (Trace.Decapsulate { node = "mh"; frame = plain });
   Trace.record t ~time:0.008 (Trace.Deliver { node = "mh"; frame = plain });
+  Trace.record t ~time:0.009
+    (Trace.Icmp_error
+       {
+         node = "hr";
+         reason = Trace.Ingress_filter;
+         frame = frame 3 7 (icmp_error_packet ());
+       });
   t
 
 let test_event_json_roundtrip () =
@@ -180,16 +195,7 @@ let test_flow_index () =
   (* flow_records must equal a filter of the full log, in order *)
   let expected =
     List.filter
-      (fun r ->
-        match r.Trace.event with
-        | Trace.Send { frame; _ }
-        | Trace.Transmit { frame; _ }
-        | Trace.Forward { frame; _ }
-        | Trace.Drop { frame; _ }
-        | Trace.Deliver { frame; _ }
-        | Trace.Encapsulate { frame; _ }
-        | Trace.Decapsulate { frame; _ } ->
-            frame.Trace.flow = 7)
+      (fun r -> (Trace.frame_of r.Trace.event).Trace.flow = 7)
       (Trace.records t)
   in
   Alcotest.(check bool) "flow_records = ordered filter" true

@@ -34,4 +34,5 @@ let () =
          Suite_auto_attach.suites;
          Suite_misc.suites;
          Suite_obs.suites;
+         Suite_failover.suites;
        ])
