@@ -58,29 +58,48 @@ let cycled_lookup table =
    from [a] through the router to [b] and drains the queue — the per-hop
    forwarding fast path (lookup, TTL decrement, incremental checksum,
    emit) with tracing gated off. *)
+let make_forward_world () =
+  let net = Netsim.Net.create () in
+  let a = Netsim.Net.add_host net "a" in
+  let r = Netsim.Net.add_router net "r" in
+  let b = Netsim.Net.add_host net "b" in
+  let _ =
+    Netsim.Net.p2p net ~latency:0.0001
+      ~prefix:(Netsim.Ipv4_addr.Prefix.of_string "10.0.1.0/30")
+      (a, "if0", addr "10.0.1.1")
+      (r, "if0", addr "10.0.1.2")
+  in
+  let _ =
+    Netsim.Net.p2p net ~latency:0.0001
+      ~prefix:(Netsim.Ipv4_addr.Prefix.of_string "10.0.2.0/30")
+      (r, "if1", addr "10.0.2.1")
+      (b, "if0", addr "10.0.2.2")
+  in
+  Netsim.Routing.add_default (Netsim.Net.routing a) ~gateway:(addr "10.0.1.2")
+    ~iface:"if0";
+  Netsim.Routing.add_default (Netsim.Net.routing b) ~gateway:(addr "10.0.2.1")
+    ~iface:"if0";
+  (net, a)
+
 let forward_world =
   lazy
-    (let net = Netsim.Net.create () in
-     let a = Netsim.Net.add_host net "a" in
-     let r = Netsim.Net.add_router net "r" in
-     let b = Netsim.Net.add_host net "b" in
-     let _ =
-       Netsim.Net.p2p net ~latency:0.0001
-         ~prefix:(Netsim.Ipv4_addr.Prefix.of_string "10.0.1.0/30")
-         (a, "if0", addr "10.0.1.1")
-         (r, "if0", addr "10.0.1.2")
-     in
-     let _ =
-       Netsim.Net.p2p net ~latency:0.0001
-         ~prefix:(Netsim.Ipv4_addr.Prefix.of_string "10.0.2.0/30")
-         (r, "if1", addr "10.0.2.1")
-         (b, "if0", addr "10.0.2.2")
-     in
-     Netsim.Routing.add_default (Netsim.Net.routing a)
-       ~gateway:(addr "10.0.1.2") ~iface:"if0";
-     Netsim.Routing.add_default (Netsim.Net.routing b)
-       ~gateway:(addr "10.0.2.1") ~iface:"if0";
+    (let net, a = make_forward_world () in
      Netsim.Net.set_tracing net false;
+     (net, a))
+
+(* The same hop with tracing enabled and the flight recorder hanging off
+   the net's own trace (a per-trace observer, so nothing leaks into the
+   other cases): the always-on telemetry cost the E20 ladder measures at
+   workload scale, isolated here per hop for the regression gate. *)
+let forward_world_recorded =
+  lazy
+    (let net, a = make_forward_world () in
+     Netsim.Net.set_tracing net true;
+     let rec_ = Netobs.Recorder.create ~capacity:4096 () in
+     let _ =
+       Netsim.Trace.add_observer (Netsim.Net.trace net)
+         (Netobs.Recorder.note rec_)
+     in
      (net, a))
 
 let forward_pkt =
@@ -92,6 +111,30 @@ let forwarding_hop () =
   let net, a = Lazy.force forward_world in
   ignore (Netsim.Net.send a forward_pkt);
   Netsim.Net.run net
+
+let forwarding_hop_recorded () =
+  let net, a = Lazy.force forward_world_recorded in
+  ignore (Netsim.Net.send a forward_pkt);
+  Netsim.Net.run net
+
+(* The recorder's per-record cost alone (sampling decision + ring store),
+   without any simulation around it. *)
+let bench_recorder = lazy (Netobs.Recorder.create ~capacity:4096 ())
+
+let sample_record =
+  {
+    Netsim.Trace.time = 0.0125;
+    event =
+      Netsim.Trace.Transmit
+        {
+          link = "a-r";
+          frame = { Netsim.Trace.id = 7; flow = 5; pkt = sample_packet };
+          bytes = Bytes.length sample_wire;
+        };
+  }
+
+let recorder_note () =
+  Netobs.Recorder.note (Lazy.force bench_recorder) sample_record
 
 let header_csum = Netsim.Ipv4_packet.header_checksum sample_packet
 
@@ -183,6 +226,9 @@ let micro_tests =
              Netsim.Ipv4_packet.decrement_ttl_checksum ~checksum:header_csum
                sample_packet));
       Test.make ~name:"forwarding-hop" (Staged.stage forwarding_hop);
+      Test.make ~name:"forwarding-hop-recorded"
+        (Staged.stage forwarding_hop_recorded);
+      Test.make ~name:"recorder-note-512B" (Staged.stage recorder_note);
       Test.make ~name:"grid-best-cell"
         (Staged.stage (fun () -> Mobileip.Grid.best grid_env));
       Test.make ~name:"registration-roundtrip"

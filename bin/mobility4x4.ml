@@ -119,11 +119,21 @@ let trace_json_arg =
         ~doc:"Write the run's packet telemetry to $(docv) as JSONL (one \
               trace event per line)")
 
+let pcap_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pcap" ] ~docv:"FILE"
+        ~doc:"Write every transmitted frame to $(docv) as a libpcap \
+              capture (LINKTYPE_RAW; open it with tcpdump or Wireshark)")
+
 let open_trace_out file =
   try Ok (open_out file)
   with Sys_error msg -> Error (Printf.sprintf "--trace-json: %s" msg)
 
-(* Stream every trace record (from every world the run creates) to FILE. *)
+(* Stream every trace record (from every world the run creates) to FILE.
+   Installed with Trace.add_sink, so it tees with --pcap and any
+   recorder. *)
 let with_trace_stream file f =
   match file with
   | None -> f ()
@@ -132,17 +142,46 @@ let with_trace_stream file f =
       | Error e -> `Error (false, e)
       | Ok oc ->
       let n = ref 0 in
-      Netsim.Trace.set_sink
-        (Some
-           (fun r ->
-             incr n;
-             Netobs.Export.sink_to_channel oc r));
+      let sink =
+        Netsim.Trace.add_sink (fun r ->
+            incr n;
+            Netobs.Export.sink_to_channel oc r)
+      in
       Fun.protect
         ~finally:(fun () ->
-          Netsim.Trace.set_sink None;
+          Netsim.Trace.remove_sink sink;
           close_out oc;
           Printf.eprintf "trace-json: wrote %d events to %s\n%!" !n file)
         f)
+
+(* Stream every Transmit frame (from every world the run creates) to FILE
+   as pcap packets. *)
+let with_pcap_stream file f =
+  match file with
+  | None -> f ()
+  | Some file -> (
+      match
+        try Ok (open_out_bin file)
+        with Sys_error msg -> Error (Printf.sprintf "--pcap: %s" msg)
+      with
+      | Error e -> `Error (false, e)
+      | Ok oc ->
+          Netobs.Pcap.write_header oc;
+          let n = ref 0 in
+          let sink =
+            Netsim.Trace.add_sink (fun r ->
+                match Netobs.Pcap.packet_of_record r with
+                | Some (time, payload) ->
+                    incr n;
+                    Netobs.Pcap.append_packet oc ~time payload
+                | None -> ())
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Netsim.Trace.remove_sink sink;
+              close_out oc;
+              Printf.eprintf "pcap: wrote %d packets to %s\n%!" !n file)
+            f)
 
 (* Post-hoc dump of one finished world's trace: exactly Trace.length lines.
    The channel is opened before the scenario runs so a bad path fails fast. *)
@@ -157,25 +196,27 @@ let experiments_cmd =
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E1..E14)")
   in
-  let run ids trace_json =
+  let run ids trace_json pcap =
     with_trace_stream trace_json (fun () ->
-        match ids with
-        | [] ->
-            Experiments.Registry.run_all out_fmt;
-            `Ok ()
-        | ids ->
-            let bad =
-              List.filter
-                (fun id -> not (Experiments.Registry.run_one out_fmt id))
-                ids
-            in
-            if bad = [] then `Ok ()
-            else
-              `Error (false, "unknown experiment(s): " ^ String.concat ", " bad))
+        with_pcap_stream pcap (fun () ->
+            match ids with
+            | [] ->
+                Experiments.Registry.run_all out_fmt;
+                `Ok ()
+            | ids ->
+                let bad =
+                  List.filter
+                    (fun id -> not (Experiments.Registry.run_one out_fmt id))
+                    ids
+                in
+                if bad = [] then `Ok ()
+                else
+                  `Error
+                    (false, "unknown experiment(s): " ^ String.concat ", " bad)))
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Reproduce the paper's figures and claims")
-    Term.(ret (const run $ ids $ trace_json_arg))
+    Term.(ret (const run $ ids $ trace_json_arg $ pcap_arg))
 
 (* ---- scenario ---- *)
 
@@ -286,20 +327,21 @@ let scenario_cmd =
   let scenario_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Scenario name")
   in
-  let run name trace_json =
+  let run name trace_json pcap =
     match List.find_opt (fun (n, _, _) -> n = name) scenarios with
     | Some (_, _, f) -> (
-        match trace_json with
-        | None ->
-            let (_ : Netsim.Net.t) = f () in
-            `Ok ()
-        | Some file -> (
-            match open_trace_out file with
-            | Error e -> `Error (false, e)
-            | Ok oc ->
-                let net = f () in
-                dump_trace_json oc file net;
-                `Ok ()))
+        with_pcap_stream pcap (fun () ->
+            match trace_json with
+            | None ->
+                let (_ : Netsim.Net.t) = f () in
+                `Ok ()
+            | Some file -> (
+                match open_trace_out file with
+                | Error e -> `Error (false, e)
+                | Ok oc ->
+                    let net = f () in
+                    dump_trace_json oc file net;
+                    `Ok ())))
     | None ->
         `Error
           ( false,
@@ -308,7 +350,7 @@ let scenario_cmd =
   in
   Cmd.v
     (Cmd.info "scenario" ~doc:"Run a canned scenario and dump its packet trace")
-    Term.(ret (const run $ scenario_arg $ trace_json_arg))
+    Term.(ret (const run $ scenario_arg $ trace_json_arg $ pcap_arg))
 
 let rules_cmd =
   let file =
@@ -613,7 +655,8 @@ let soak_cmd =
       (Printf.sprintf "repro-s%d-%s.json" seed
          (String.map (fun c -> if c = '/' then '_' else c) (cell_name cell)))
   in
-  let finding_json path (f : Experiments.Soak.finding) =
+  let finding_json (path, trace_path, pcap_path) (f : Experiments.Soak.finding)
+      =
     Netsim.Json.Obj
       [
         ("seed", Netsim.Json.Int f.Experiments.Soak.f_seed);
@@ -632,16 +675,35 @@ let soak_cmd =
             (List.length f.Experiments.Soak.f_shrunk.Netsim.Fault.events) );
         ("replays", Netsim.Json.Int f.Experiments.Soak.f_replays);
         ("repro", Netsim.Json.String path);
+        ("trace", Netsim.Json.String trace_path);
+        ("pcap", Netsim.Json.String pcap_path);
       ]
   in
-  let run seeds profile budget cells fault_json repro_dir no_shrink json =
+  (* The flight-recorder tail of a violating run, as trace JSONL and as a
+     pcap, next to the repro: a shrunken plan arrives with its capture. *)
+  let write_finding_artifacts path (f : Experiments.Soak.finding) =
+    let tail = f.Experiments.Soak.f_outcome.Experiments.Soak.recorder_tail in
+    let base = Filename.remove_extension path in
+    let trace_path = base ^ ".trace.jsonl" in
+    let oc = open_out trace_path in
+    List.iter
+      (fun r ->
+        output_string oc (Netobs.Export.line_of_record r);
+        output_char oc '\n')
+      tail;
+    close_out oc;
+    let pcap_path = base ^ ".pcap" in
+    ignore (Netobs.Pcap.write_file pcap_path tail);
+    (path, trace_path, pcap_path)
+  in
+  let run seeds profile budget cells fault_json repro_dir no_shrink json pcap =
     let profile =
       match profile with
       | `Gentle -> Experiments.Soak.gentle
       | `Harsh -> Experiments.Soak.harsh
     in
     let ( let* ) = Result.bind in
-    let result =
+    let result () =
       let* profile =
         match budget with
         | None -> Ok profile
@@ -702,7 +764,7 @@ let soak_cmd =
                      f.Experiments.Soak.f_shrunk);
                 output_char oc '\n';
                 close_out oc;
-                path)
+                write_finding_artifacts path f)
               report.Experiments.Soak.findings
           in
           (* The run's metrics, tcp_retx_aborted_total among them. *)
@@ -749,10 +811,11 @@ let soak_cmd =
               report.Experiments.Soak.total_checks
               (List.length report.Experiments.Soak.findings);
             List.iter2
-              (fun path (f : Experiments.Soak.finding) ->
+              (fun (path, trace_path, pcap_path)
+                   (f : Experiments.Soak.finding) ->
                 Format.printf
                   "  seed %d cell %s: %s (%d events -> %d, %d replays) \
-                   repro: %s@."
+                   repro: %s tail: %s pcap: %s@."
                   f.Experiments.Soak.f_seed
                   (cell_name f.Experiments.Soak.f_cell)
                   (String.concat " "
@@ -760,15 +823,18 @@ let soak_cmd =
                         f.Experiments.Soak.f_outcome))
                   (List.length f.Experiments.Soak.f_plan.Netsim.Fault.events)
                   (List.length f.Experiments.Soak.f_shrunk.Netsim.Fault.events)
-                  f.Experiments.Soak.f_replays path)
+                  f.Experiments.Soak.f_replays path trace_path pcap_path)
               paths report.Experiments.Soak.findings;
             Netobs.Metrics.pp_snapshot out_fmt (Netobs.Metrics.snapshot reg)
           end;
           Ok (report.Experiments.Soak.findings <> [])
     in
-    match result with
-    | Error e -> `Error (false, e)
-    | Ok violated ->
+    (* The pcap sink is torn down (and its channel closed) before the
+       violation exit code is raised. *)
+    match with_pcap_stream pcap (fun () -> `Done (result ())) with
+    | `Error _ as e -> e
+    | `Done (Error e) -> `Error (false, e)
+    | `Done (Ok violated) ->
         if violated then exit 1;
         `Ok ()
   in
@@ -780,7 +846,45 @@ let soak_cmd =
     Term.(
       ret
         (const run $ seeds $ profile $ budget $ cells $ fault_json $ repro_dir
-       $ no_shrink $ json))
+       $ no_shrink $ json $ pcap_arg))
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the profile as JSON instead of a table")
+  in
+  let run json =
+    (* The E20/E18 capacity workload under the hot-path profiler: the
+       per-subsystem self/total table the scale-out work steers by. *)
+    Netsim.Prof.reset ();
+    Netsim.Prof.set_enabled true;
+    let stats =
+      Experiments.E20_obs_overhead.run_once ~install:(fun _ () -> ()) ()
+    in
+    Netsim.Prof.set_enabled false;
+    let entries = Netsim.Prof.snapshot () in
+    if json then
+      print_endline (Netobs.Json.to_string (Netobs.Profile.to_json entries))
+    else begin
+      Format.printf
+        "workload: %d concurrent flows, %d/%d datagrams delivered, %.1f ms \
+         wall (timings inflated by the profiler's own clock reads)@."
+        Experiments.E20_obs_overhead.flows
+        stats.Experiments.E20_obs_overhead.delivered
+        stats.Experiments.E20_obs_overhead.expected
+        (stats.Experiments.E20_obs_overhead.wall *. 1e3);
+      Netobs.Profile.pp out_fmt entries
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the capacity workload under the hot-path profiler and print \
+          per-subsystem self/total wall-clock time")
+    Term.(const run $ json)
 
 let list_cmd =
   let run () =
@@ -803,4 +907,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ grid_cmd; best_cmd; experiments_cmd; scenario_cmd; stats_cmd;
-            soak_cmd; rules_cmd; list_cmd ]))
+            soak_cmd; profile_cmd; rules_cmd; list_cmd ]))

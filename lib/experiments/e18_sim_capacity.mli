@@ -3,4 +3,9 @@
     reporting end-to-end packets/sec and engine events/sec (published via
     a {!Netobs.Metrics} registry). *)
 
+val load_levels : int list
+val exchanges_per_flow : int
+(** Workload parameters, shared with E20's overhead ladder so both
+    experiments measure the same thing. *)
+
 val run : unit -> Table.t

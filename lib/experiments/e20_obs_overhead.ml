@@ -1,0 +1,268 @@
+(* E20 — the observability overhead ladder: what each telemetry consumer
+   costs on the E18 capacity workload (128 concurrent UDP ping-pong flows
+   over the roamed world, per-packet tracing gated off).  Rungs:
+
+     off               nothing installed — the E18 baseline
+     recorder          flight recorder, every flow
+     recorder-sampled  flight recorder, 1-in-8 flow sampling
+     jsonl             full JSONL export streaming to a file
+     pcap              pcap export streaming to a file
+
+   The recorder rungs take the allocation-free [Trace.emit_*] fast path
+   (no event construction at all); jsonl and pcap are full consumers, so
+   they pay record/event allocation plus their own serialisation.  The
+   ladder separates the price of *knowing* (recorder) from the price of
+   *exporting* (jsonl, pcap).  The roadmap claim under test: the flight
+   recorder is cheap enough to leave on at capacity scale — sampled
+   capture within measurement noise of tracing-off, full every-flow
+   capture at roughly a tenth of throughput.
+
+   Rates on a loaded host wobble; wall time is host *CPU* seconds inside
+   [Engine.run] (immune to CPU steal), attempts are interleaved across
+   rungs (a slow patch on a shared host degrades one attempt of every
+   rung rather than one rung's whole budget), each run starts from a
+   freshly collected heap, and each rung reports its fastest attempt. *)
+
+open Netsim
+
+let flows = 128
+let attempts = 5
+let recorder_capacity = 4096
+let sample_every = 8
+
+type run_stats = {
+  delivered : int;
+  expected : int;
+  wall : float;
+  packets_per_sec : float;
+}
+
+(* One E18-style capacity run: [install] may hang consumers on the trace
+   (returning the matching teardown), so the workload itself is identical
+   on every rung.  [record_rtt] (used by the unmeasured percentile run
+   only — it adds per-exchange stamping the timed rungs must not pay)
+   receives each exchange's end-to-end round trip in simulated
+   milliseconds. *)
+let run_once ?record_rtt ~install () =
+  let topo = Scenarios.Topo.build () in
+  Scenarios.Topo.roam topo ();
+  let net = topo.Scenarios.Topo.net in
+  Common.fresh_trace net;
+  Net.set_tracing net false;
+  let teardown = install net in
+  let mh_udp = Transport.Udp_service.get topo.Scenarios.Topo.mh_node in
+  let ch_udp = Transport.Udp_service.get topo.Scenarios.Topo.ch_node in
+  let ch_received = ref 0 in
+  let mh_received = ref 0 in
+  Transport.Udp_service.listen ch_udp ~port:9 (fun svc dgram ->
+      incr ch_received;
+      ignore
+        (Transport.Udp_service.send svc ~src:dgram.Transport.Udp_service.dst
+           ~dst:dgram.Transport.Udp_service.src ~src_port:9
+           ~dst_port:dgram.Transport.Udp_service.src_port
+           (Bytes.make 512 'r')));
+  let eng = Net.engine net in
+  let stamps = Array.make flows 0.0 in
+  let request i =
+    if record_rtt <> None then stamps.(i) <- Engine.now eng;
+    ignore
+      (Transport.Udp_service.send mh_udp ~src:topo.Scenarios.Topo.mh_home_addr
+         ~dst:topo.Scenarios.Topo.ch_addr ~src_port:(47000 + i) ~dst_port:9
+         (Bytes.make 256 'q'))
+  in
+  let exchanges = E18_sim_capacity.exchanges_per_flow in
+  for i = 0 to flows - 1 do
+    let sent = ref 1 in
+    Transport.Udp_service.listen mh_udp ~port:(47000 + i) (fun _ _ ->
+        incr mh_received;
+        (match record_rtt with
+        | Some f -> f ((Engine.now eng -. stamps.(i)) *. 1e3)
+        | None -> ());
+        if !sent < exchanges then begin
+          incr sent;
+          request i
+        end);
+    Engine.after eng (float_of_int i *. 0.003) (fun () -> request i)
+  done;
+  let before = Engine.stats eng in
+  Net.run net;
+  let after = Engine.stats eng in
+  teardown ();
+  let delivered = !ch_received + !mh_received in
+  let wall = after.Engine.wall_time -. before.Engine.wall_time in
+  {
+    delivered;
+    expected = 2 * flows * exchanges;
+    wall;
+    packets_per_sec =
+      (if wall > 0.0 then float_of_int delivered /. wall else 0.0);
+  }
+
+
+let no_teardown (_ : Net.t) () = ()
+
+let rung_off net = no_teardown net
+
+let rung_recorder ?sample_every () (_ : Net.t) =
+  let r = Netobs.Recorder.create ?sample_every ~capacity:recorder_capacity () in
+  Netobs.Recorder.install r;
+  fun () -> Netobs.Recorder.uninstall r
+
+let rung_to_file make_sink (_ : Net.t) =
+  let path = Filename.temp_file "e20" ".out" in
+  let oc = open_out_bin path in
+  let sink = Trace.add_sink (make_sink oc) in
+  fun () ->
+    Trace.remove_sink sink;
+    close_out oc;
+    Sys.remove path
+
+let rung_jsonl net =
+  rung_to_file (fun oc -> Netobs.Export.sink_to_channel oc) net
+
+let rung_pcap net =
+  rung_to_file
+    (fun oc ->
+      Netobs.Pcap.write_header oc;
+      Netobs.Pcap.sink_to_channel oc)
+    net
+
+type rung = { name : string; stats : run_stats; vs_off : float }
+
+(* The workload's end-to-end RTT distribution is pure simulated time —
+   identical on every rung, whatever telemetry is installed — so it is
+   collected once, on an unmeasured instrumented run, and summarised with
+   the bucket-interpolated percentiles. *)
+let rtt_percentiles () =
+  let reg = Netobs.Metrics.create () in
+  let h =
+    Netobs.Metrics.histogram reg
+      ~help:"end-to-end request/reply round trip, simulated ms" "e20.rtt_ms"
+  in
+  ignore
+    (run_once ~record_rtt:(Netobs.Metrics.observe h) ~install:rung_off ());
+  List.find_map
+    (fun s ->
+      match s.Netobs.Metrics.value with
+      | Netobs.Metrics.Histogram v when s.Netobs.Metrics.name = "e20.rtt_ms"
+        ->
+          Some
+            ( Netobs.Metrics.percentile v 50.0,
+              Netobs.Metrics.percentile v 90.0,
+              Netobs.Metrics.percentile v 99.0 )
+      | _ -> None)
+    (Netobs.Metrics.snapshot reg)
+
+let run_ladder () =
+  let ladder =
+    [|
+      ("off", rung_off);
+      ("recorder", fun net -> rung_recorder () net);
+      ("recorder-sampled", fun net -> rung_recorder ~sample_every () net);
+      ("jsonl", rung_jsonl);
+      ("pcap", rung_pcap);
+    |]
+  in
+  (* Interleaved attempts: pass k runs every rung once, back-to-back, so
+     each pass samples every rung under the same host conditions; each
+     run starts from a compacted heap so an allocation-heavy rung
+     (jsonl) cannot reshape the heap under its successors.  The overhead
+     statistic is the *median of within-pass ratios* (each rung against
+     that same pass's "off"): a ratio taken seconds apart is immune to
+     the minute-scale load drift of a shared host that makes absolute
+     rates from different passes incomparable, and the median discards
+     the odd pass that caught a load burst mid-ladder. *)
+  let passes =
+    Array.init attempts (fun _ ->
+        Array.map
+          (fun (_, install) ->
+            Gc.compact ();
+            run_once ~install ())
+          ladder)
+  in
+  let median l =
+    let sorted = List.sort compare l in
+    List.nth sorted (List.length sorted / 2)
+  in
+  let stats i =
+    let by_pps =
+      List.sort
+        (fun a b -> compare a.packets_per_sec b.packets_per_sec)
+        (Array.to_list (Array.map (fun pass -> pass.(i)) passes))
+    in
+    List.nth by_pps (List.length by_pps / 2)
+  in
+  let rel i =
+    median
+      (Array.to_list
+         (Array.map
+            (fun pass ->
+              if pass.(0).packets_per_sec > 0.0 then
+                100.0
+                *. (pass.(i).packets_per_sec /. pass.(0).packets_per_sec
+                   -. 1.0)
+              else 0.0)
+            passes))
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i (name, _) ->
+         { name; stats = stats i; vs_off = (if i = 0 then 0.0 else rel i) })
+       ladder)
+
+let run () =
+  let rungs = run_ladder () in
+  let rtt_note =
+    match rtt_percentiles () with
+    | Some (p50, p90, p99) ->
+        Printf.sprintf
+          "workload RTT (simulated, identical on every rung): p50=%.1f ms \
+           p90=%.1f ms p99=%.1f ms — bucket-interpolated percentiles over \
+           the run's %d exchanges"
+          p50 p90 p99
+          (flows * E18_sim_capacity.exchanges_per_flow)
+    | None -> "workload RTT histogram was empty"
+  in
+  let row r =
+    [
+      r.name;
+      Printf.sprintf "%d/%d" r.stats.delivered r.stats.expected;
+      Printf.sprintf "%.1f" (r.stats.wall *. 1e3);
+      Printf.sprintf "%.0f" r.stats.packets_per_sec;
+      (if r.name = "off" then "-" else Printf.sprintf "%+.1f%%" r.vs_off);
+    ]
+  in
+  {
+    Table.id = "E20";
+    title =
+      Printf.sprintf
+        "Observability overhead ladder: %d-flow capacity workload per rung"
+        flows;
+    paper_claim =
+      "harness, not paper: the flight recorder is cheap enough to leave on \
+       at capacity scale — sampled capture sits within measurement noise \
+       of tracing-off, full every-flow capture costs ~10-15%; full \
+       exports cost what they cost, and now we know the number";
+    columns = [ "rung"; "delivered"; "wall ms"; "packets/sec"; "vs off" ];
+    rows = List.map row rungs;
+    notes =
+      [
+        Printf.sprintf
+          "same workload as E18's %d-flow level; recorder rungs ride the \
+           allocation-free emit fast path, jsonl/pcap are full consumers \
+           and pay record construction plus serialisation"
+          flows;
+        Printf.sprintf
+          "recorder: %d-slot ring; recorder-sampled keeps 1 flow in %d \
+           (deterministic per seed); jsonl/pcap stream to a file and the \
+           file is deleted"
+          recorder_capacity sample_every;
+        Printf.sprintf
+          "wall is host CPU seconds inside the engine; %d interleaved \
+           passes, heap compacted before each run; 'vs off' is the \
+           median of within-pass ratios (back-to-back runs, immune to \
+           host load drift), wall/rate columns are the median run"
+          attempts;
+        rtt_note;
+      ];
+  }

@@ -21,6 +21,8 @@ let all =
     ("E18", "Simulator capacity: packets/sec under concurrent load",
      E18_sim_capacity.run);
     ("E19", "Failure signaling and home-agent failover", E19_failover.run);
+    ("E20", "Observability overhead: recorder / JSONL / pcap ladder",
+     E20_obs_overhead.run);
     ("A1", "Section 4 ablation: source routing vs encapsulation",
      A01_source_routing.run);
     ("A2", "Sections 2/3.3 ablation: encapsulation formats",

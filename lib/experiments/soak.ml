@@ -54,6 +54,7 @@ type outcome = {
   checks_run : int;
   tcp_retx_aborts : int;
   fault : Netsim.Fault.stats;
+  recorder_tail : Netsim.Trace.record list;
 }
 
 type finding = {
@@ -89,6 +90,7 @@ let addr_a = Netsim.Ipv4_addr.of_string "131.7.0.200"
 let addr_b = Netsim.Ipv4_addr.of_string "131.7.0.201"
 let gateway = Netsim.Ipv4_addr.of_string "131.7.0.1"
 let stream_port = 40100
+let recorder_capacity = 512
 let pat i = Char.chr (Char.code 'a' + (i mod 26))
 
 (* The topology dimension of the sweep. *)
@@ -146,6 +148,9 @@ let replay ?(profile = gentle) ~cell ~seed plan =
   Scenarios.Oracle.install_standard
     ~recovery_after:(Netsim.Fault.plan_end plan)
     oracle;
+  (* Every soak run flies with the recorder attached: when an invariant
+     trips, the finding carries the last events before the violation. *)
+  Scenarios.Oracle.attach_recorder ~capacity:recorder_capacity oracle;
   let ch_tcp = Transport.Tcp.get topo.Scenarios.Topo.ch_node in
   Transport.Tcp.listen ch_tcp ~port:stream_port (fun conn ->
       Scenarios.Oracle.add_tcp_stream ~expected:pat oracle conn);
@@ -197,6 +202,7 @@ let replay ?(profile = gentle) ~cell ~seed plan =
     tcp_retx_aborts =
       Transport.Tcp.retx_aborts mh_tcp + Transport.Tcp.retx_aborts ch_tcp;
     fault = Netsim.Fault.stats fault;
+    recorder_tail = Scenarios.Oracle.recorder_tail oracle;
   }
 
 let violated_names outcome =

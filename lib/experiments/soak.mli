@@ -43,6 +43,10 @@ type outcome = {
       (** connections that gave up retransmitting during this run (the
           [tcp_retx_aborted_total] counter) *)
   fault : Netsim.Fault.stats;
+  recorder_tail : Netsim.Trace.record list;
+      (** the flight-recorder snapshot at the first invariant violation —
+          the last events (up to the recorder capacity) leading up to the
+          failure; [[]] when the run passed *)
 }
 
 type finding = {

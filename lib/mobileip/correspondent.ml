@@ -93,15 +93,9 @@ let own_address t =
 
 let record_encap t outer =
   t.encapsulated <- t.encapsulated + 1;
-  if Trace.interested (Net.trace (Net.node_net t.ch_node)) then
-    Trace.record
+  Trace.emit_encapsulate
     (Net.trace (Net.node_net t.ch_node))
-    ~time:(Net.node_now t.ch_node)
-    (Trace.Encapsulate
-       {
-         node = Net.node_name t.ch_node;
-         frame = { Trace.id = 0; flow = 0; pkt = outer };
-       })
+    ~node:(Net.node_name t.ch_node) ~id:0 ~flow:0 ~pkt:outer
 
 (* Route override: the CH-side delivery decision for every outgoing
    packet.  In-IE is "no decision": plain packets to the home address find
@@ -157,15 +151,9 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
     | None -> false
     | Some (_, inner) ->
         t.decapsulated <- t.decapsulated + 1;
-        if Trace.interested (Net.trace (Net.node_net t.ch_node)) then
-          Trace.record
+        Trace.emit_decapsulate
           (Net.trace (Net.node_net t.ch_node))
-          ~time:(Net.node_now t.ch_node)
-          (Trace.Decapsulate
-             {
-               node = Net.node_name t.ch_node;
-               frame = { Trace.id = 0; flow; pkt = inner };
-             });
+          ~node:(Net.node_name t.ch_node) ~id:0 ~flow ~pkt:inner;
         Net.inject_local t.ch_node ~flow inner;
         true
 

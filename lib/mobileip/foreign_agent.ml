@@ -97,15 +97,9 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
         | None -> false
         | Some mac ->
             t.delivered <- t.delivered + 1;
-            if Trace.interested (Net.trace (Net.node_net t.fa_node)) then
-              Trace.record
+            Trace.emit_decapsulate
               (Net.trace (Net.node_net t.fa_node))
-              ~time:(Net.node_now t.fa_node)
-              (Trace.Decapsulate
-                 {
-                   node = Net.node_name t.fa_node;
-                   frame = { Trace.id = 0; flow; pkt = inner };
-                 });
+              ~node:(Net.node_name t.fa_node) ~id:0 ~flow ~pkt:inner;
             ignore
               (Net.send t.fa_node ~flow ~via:t.iface ~l2_dst:mac inner);
             true)

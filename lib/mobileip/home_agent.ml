@@ -253,15 +253,9 @@ let relay_multicast t ~flow (pkt : Ipv4_packet.t) =
               ~ident:(tunnel_ident t) pkt
           in
           t.mcast_relayed <- t.mcast_relayed + 1;
-          if Trace.interested (Net.trace (Net.node_net t.ha_node)) then
-            Trace.record
+          Trace.emit_encapsulate
             (Net.trace (Net.node_net t.ha_node))
-            ~time:(Net.node_now t.ha_node)
-            (Trace.Encapsulate
-               {
-                 node = Net.node_name t.ha_node;
-                 frame = { Trace.id = 0; flow; pkt = outer };
-               });
+            ~node:(Net.node_name t.ha_node) ~id:0 ~flow ~pkt:outer;
           ignore (Net.send t.ha_node ~flow outer))
     subscribers;
   subscribers <> []
@@ -290,14 +284,9 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
           ~ident:(tunnel_ident t) pkt
       in
       t.tunneled <- t.tunneled + 1;
-      if Trace.interested (Net.trace (Net.node_net t.ha_node)) then
-        Trace.record (Net.trace (Net.node_net t.ha_node))
-        ~time:(Net.node_now t.ha_node)
-        (Trace.Encapsulate
-           {
-             node = Net.node_name t.ha_node;
-             frame = { Trace.id = 0; flow; pkt = outer };
-           });
+      Trace.emit_encapsulate
+        (Net.trace (Net.node_net t.ha_node))
+        ~node:(Net.node_name t.ha_node) ~id:0 ~flow ~pkt:outer;
       ignore (Net.send t.ha_node ~flow outer);
       maybe_notify t ~correspondent:pkt.Ipv4_packet.src b;
       true
@@ -314,15 +303,9 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
                 false
             | Some _ ->
                 t.reverse_tunneled <- t.reverse_tunneled + 1;
-                if Trace.interested (Net.trace (Net.node_net t.ha_node)) then
-                  Trace.record
+                Trace.emit_decapsulate
                   (Net.trace (Net.node_net t.ha_node))
-                  ~time:(Net.node_now t.ha_node)
-                  (Trace.Decapsulate
-                     {
-                       node = Net.node_name t.ha_node;
-                       frame = { Trace.id = 0; flow; pkt = inner };
-                     });
+                  ~node:(Net.node_name t.ha_node) ~id:0 ~flow ~pkt:inner;
                 ignore (Net.send t.ha_node ~flow inner);
                 true))
 

@@ -154,15 +154,9 @@ let fresh_tunnel_ident t =
 
 let record_encap t outer =
   t.encapsulated <- t.encapsulated + 1;
-  if Trace.interested (Net.trace (Net.node_net t.mh_node)) then
-    Trace.record
+  Trace.emit_encapsulate
     (Net.trace (Net.node_net t.mh_node))
-    ~time:(Net.node_now t.mh_node)
-    (Trace.Encapsulate
-       {
-         node = Net.node_name t.mh_node;
-         frame = { Trace.id = 0; flow = 0; pkt = outer };
-       })
+    ~node:(Net.node_name t.mh_node) ~id:0 ~flow:0 ~pkt:outer
 
 (* The route-override hook: the mobility policy consulted before the
    routing table for every locally-originated packet. *)
@@ -239,15 +233,9 @@ let intercept t ~flow (pkt : Ipv4_packet.t) =
         | None -> false
         | Some (_, inner) ->
             t.decapsulated <- t.decapsulated + 1;
-            if Trace.interested (Net.trace (Net.node_net t.mh_node)) then
-              Trace.record
+            Trace.emit_decapsulate
               (Net.trace (Net.node_net t.mh_node))
-              ~time:(Net.node_now t.mh_node)
-              (Trace.Decapsulate
-                 {
-                   node = Net.node_name t.mh_node;
-                   frame = { Trace.id = 0; flow; pkt = inner };
-                 });
+              ~node:(Net.node_name t.mh_node) ~id:0 ~flow ~pkt:inner;
             Net.inject_local t.mh_node ~flow inner;
             true)
 

@@ -9,7 +9,11 @@ type stats = {
 
 type t = {
   queue : (unit -> unit) Pqueue.t;
-  mutable clock : float;
+  (* The clock lives in a one-element floatarray rather than a mutable
+     float field so consumers polled on every trace event (the trace
+     fast path) can read it as an unboxed load through [clock_cell],
+     with no accessor call and no float boxing. *)
+  clock : floatarray;
   mutable executed : int;
   mutable max_pending : int;
   mutable truncated : int;
@@ -20,7 +24,7 @@ type t = {
 let create () =
   {
     queue = Pqueue.create ();
-    clock = 0.0;
+    clock = Float.Array.make 1 0.0;
     executed = 0;
     max_pending = 0;
     truncated = 0;
@@ -28,7 +32,8 @@ let create () =
     observer = None;
   }
 
-let now t = t.clock
+let now t = Float.Array.get t.clock 0
+let clock_cell t = t.clock
 
 let stats t =
   {
@@ -36,23 +41,24 @@ let stats t =
     pending = Pqueue.length t.queue;
     max_pending = t.max_pending;
     truncated = t.truncated;
-    sim_time = t.clock;
+    sim_time = Float.Array.get t.clock 0;
     wall_time = t.wall_time;
   }
 
 let set_observer t f = t.observer <- f
 
 let schedule t ~at f =
-  if at < t.clock then
+  let clk = Float.Array.get t.clock 0 in
+  if at < clk then
     invalid_arg
-      (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at t.clock);
+      (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at clk);
   Pqueue.add t.queue ~priority:at f;
   let depth = Pqueue.length t.queue in
   if depth > t.max_pending then t.max_pending <- depth
 
 let after t delay f =
   if delay < 0.0 then invalid_arg "Engine.after: negative delay";
-  schedule t ~at:(t.clock +. delay) f
+  schedule t ~at:(Float.Array.get t.clock 0 +. delay) f
 
 let cancellable_after t delay f =
   let cancelled = ref false in
@@ -63,9 +69,11 @@ let step t =
   match Pqueue.pop t.queue with
   | None -> false
   | Some (at, f) ->
-      t.clock <- at;
+      Float.Array.set t.clock 0 at;
       t.executed <- t.executed + 1;
+      Prof.enter Prof.Dispatch;
       f ();
+      Prof.leave Prof.Dispatch;
       true
 
 let run ?until ?(max_events = 10_000_000) t =
@@ -78,7 +86,7 @@ let run ?until ?(max_events = 10_000_000) t =
     | Some (at, _) -> (
         match until with
         | Some limit when at > limit ->
-            t.clock <- limit;
+            Float.Array.set t.clock 0 limit;
             continue := false
         | _ ->
             ignore (step t);

@@ -15,6 +15,12 @@ val create : unit -> t
 val now : t -> float
 (** Current simulation time in seconds. *)
 
+val clock_cell : t -> floatarray
+(** The one-element cell backing {!now}, for consumers that read the
+    clock on every packet event (the trace fast path): an unboxed
+    [Float.Array.unsafe_get _ 0] away, with no accessor call.  Treat it
+    as read-only — the engine owns the store. *)
+
 val schedule : t -> at:float -> (unit -> unit) -> unit
 (** [schedule t ~at f] runs [f] at absolute time [at].
     @raise Invalid_argument if [at] is in the past. *)

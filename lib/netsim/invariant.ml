@@ -30,7 +30,8 @@ type t = {
   counts : (string, int) Hashtbl.t;  (* name -> times observed *)
   mutable checks_run : int;
   mutable generation : int;  (* bumps on stop/finish: stale ticks die *)
-  mutable watching : bool;
+  mutable obs_handle : Trace.observer option;
+  mutable on_violation : (violation -> unit) option;
 }
 
 let create net =
@@ -43,34 +44,39 @@ let create net =
     counts = Hashtbl.create 8;
     checks_run = 0;
     generation = 0;
-    watching = false;
+    obs_handle = None;
+    on_violation = None;
   }
 
 let net t = t.net
+let set_on_violation t f = t.on_violation <- f
 
 let record_violation t ~time ~name ~detail =
   let n = Option.value (Hashtbl.find_opt t.counts name) ~default:0 in
   Hashtbl.replace t.counts name (n + 1);
   (* Keep the first violation of each invariant: a persistently-broken
      condition is one finding, not a flood. *)
-  if n = 0 then t.rev_violations <- { name; time; detail } :: t.rev_violations
+  if n = 0 then begin
+    let v = { name; time; detail } in
+    t.rev_violations <- v :: t.rev_violations;
+    match t.on_violation with Some f -> f v | None -> ()
+  end
 
 let add_check t ~name run = t.polled <- { c_name = name; c_run = run } :: t.polled
 let add_final t ~name run = t.finals <- { c_name = name; c_run = run } :: t.finals
 
 let install_observer t =
-  if not t.watching then begin
-    t.watching <- true;
-    Trace.set_observer (Net.trace t.net)
-      (Some
-         (fun r ->
-           List.iter
-             (fun (name, w) ->
-               match w r with
-               | Some detail -> record_violation t ~time:r.Trace.time ~name ~detail
-               | None -> ())
-             t.watches))
-  end
+  if t.obs_handle = None then
+    t.obs_handle <-
+      Some
+        (Trace.add_observer (Net.trace t.net) (fun r ->
+             List.iter
+               (fun (name, w) ->
+                 match w r with
+                 | Some detail ->
+                     record_violation t ~time:r.Trace.time ~name ~detail
+                 | None -> ())
+               t.watches))
 
 let add_watch t ~name w =
   t.watches <- t.watches @ [ (name, w) ];
@@ -107,10 +113,11 @@ let finish t =
   check_now t;
   run_checks t t.finals;
   t.generation <- t.generation + 1;
-  if t.watching then begin
-    t.watching <- false;
-    Trace.set_observer (Net.trace t.net) None
-  end
+  match t.obs_handle with
+  | Some h ->
+      t.obs_handle <- None;
+      Trace.remove_observer (Net.trace t.net) h
+  | None -> ()
 
 let violations t = List.rev t.rev_violations
 let violated t = t.rev_violations <> []

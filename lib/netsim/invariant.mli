@@ -37,8 +37,14 @@ val add_final : t -> name:string -> (unit -> string option) -> unit
 (** Register a check run once, at {!finish}. *)
 
 val add_watch : t -> name:string -> (Trace.record -> string option) -> unit
-(** Register a per-trace-record check (installs the trace observer on
-    first use). *)
+(** Register a per-trace-record check (installs a trace observer on first
+    use, via {!Trace.add_observer} — it composes with other taps). *)
+
+val set_on_violation : t -> (violation -> unit) option -> unit
+(** Install (or clear) a callback fired at the {e first} violation of
+    each invariant, as it is recorded — the hook a flight recorder uses
+    to snapshot the events leading up to a failure before the run moves
+    on.  Repeat violations of the same invariant do not re-fire. *)
 
 val start : t -> ?interval:float -> ?ticks:int -> unit -> unit
 (** Run the polled checks now and then every [interval] simulated seconds

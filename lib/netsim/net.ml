@@ -113,9 +113,12 @@ and override_action =
   | Discard of string
 
 let create () =
+  let engine = Engine.create () in
+  let trace = Trace.create () in
+  Trace.set_time_source trace (Engine.clock_cell engine);
   {
-    engine = Engine.create ();
-    trace = Trace.create ();
+    engine;
+    trace;
     all_nodes = [];
     next_frame = 0;
     next_flow = 0;
@@ -414,6 +417,24 @@ let record node event = Trace.record node.net.trace ~time:(now node.net) event
    fast path skips [frame_info]/event allocation entirely. *)
 let tracing node = Trace.interested node.net.trace
 
+(* Allocation-free tracing of the hottest per-hop events: when only fast
+   taps (the flight recorder) are listening, these skip the
+   frame_info/event/record graph that [record] builds.  [emit_*] are
+   self-gated and stamp the time from the engine's clock cell, so the
+   call sites below use them unguarded. *)
+let trace_send node (f : frame) pkt =
+  Trace.emit_send node.net.trace ~node:node.name ~id:f.fid ~flow:f.flow ~pkt
+
+let trace_transmit node ~link (f : frame) pkt ~bytes =
+  Trace.emit_transmit node.net.trace ~link ~id:f.fid ~flow:f.flow ~pkt ~bytes
+
+let trace_forward node ~in_iface ~out_iface (f : frame) pkt =
+  Trace.emit_forward node.net.trace ~node:node.name ~in_iface ~out_iface
+    ~id:f.fid ~flow:f.flow ~pkt
+
+let trace_deliver node (f : frame) pkt =
+  Trace.emit_deliver node.net.trace ~node:node.name ~id:f.fid ~flow:f.flow ~pkt
+
 let same_segment a b =
   List.exists
     (fun ia ->
@@ -455,9 +476,7 @@ and emit out frame =
         | Ptp l -> l.ptp_name
         | Detached -> "detached"
       in
-      if tracing node then
-        record node
-        (Trace.Transmit { link = link_name; frame = frame_info frame pkt; bytes })
+      trace_transmit node ~link:link_name frame pkt ~bytes
   | Arp_msg _ -> ());
   match out.attachment with
   | Detached -> (
@@ -741,13 +760,15 @@ and deliver node in_iface frame pkt =
 and deliver_local node in_iface frame whole =
       let consumed =
         match node.intercept with
-        | Some hook -> hook ~flow:frame.flow whole
+        | Some hook ->
+            Prof.enter Prof.Agent;
+            let c = hook ~flow:frame.flow whole in
+            Prof.leave Prof.Agent;
+            c
         | None -> false
       in
       if not consumed then begin
-        if tracing node then
-          record node
-          (Trace.Deliver { node = node.name; frame = frame_info frame whole });
+        trace_deliver node frame whole;
         (match node.observer with Some f -> f whole | None -> ());
         let proto = Ipv4_packet.protocol_to_int whole.Ipv4_packet.protocol in
         match Hashtbl.find_opt node.handlers proto with
@@ -811,15 +832,8 @@ and forward_routed node in_iface frame ~csum pkt =
               send_icmp_error node ~reason:Trace.No_route
                 ~code:Icmp_wire.Host_unreachable ~src:in_iface.addr pkt
           | Some out ->
-              if tracing node then
-                record node
-                (Trace.Forward
-                   {
-                     node = node.name;
-                     in_iface = in_iface.ifname;
-                     out_iface = out.ifname;
-                     frame = frame_info frame pkt;
-                   });
+              trace_forward node ~in_iface:in_iface.ifname
+                ~out_iface:out.ifname frame pkt;
               let next_hop =
                 match route.Routing.gateway with
                 | Some g -> g
@@ -909,8 +923,7 @@ and originate ?(depth = 0) node ~flow ?via ?l2_dst pkt =
     let emit_via out ~next_hop ?l2_dst pkt =
       let pkt = fill_src out pkt in
       let f = fake_frame pkt in
-      if tracing node then
-        record node (Trace.Send { node = node.name; frame = frame_info f pkt });
+      trace_send node f pkt;
       ip_output node ~out ~next_hop ?l2_dst ~flow ~csum:f.csum pkt
     in
     if owns_address node pkt.Ipv4_packet.dst then begin
@@ -921,14 +934,17 @@ and originate ?(depth = 0) node ~flow ?via ?l2_dst pkt =
         else pkt
       in
       let f = fake_frame pkt in
-      if tracing node then
-        record node (Trace.Send { node = node.name; frame = frame_info f pkt });
+      trace_send node f pkt;
       deliver node None f pkt
     end
     else begin
       let decision =
         match node.override with
-        | Some hook -> hook pkt
+        | Some hook ->
+            Prof.enter Prof.Agent;
+            let d = hook pkt in
+            Prof.leave Prof.Agent;
+            d
         | None -> None
       in
       match decision with

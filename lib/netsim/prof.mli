@@ -1,0 +1,59 @@
+(** Hot-path profiler: per-subsystem wall-clock accounting behind a
+    zero-cost-when-off flag.
+
+    The simulator's hot paths carry fixed [enter]/[leave] probes keyed by
+    {!category}.  While profiling is off ({!set_enabled}[ false], the
+    default) each probe is one global load and branch — cheap enough to
+    leave compiled into the per-hop fast path.  While on, every span is
+    timed with [Sys.time] and charged to its category as both {e total}
+    time (nested categories included) and {e self} time (nested spans
+    subtracted), so the rendered table shows where simulator time actually
+    goes — the measurement the scale-out work steers by.
+
+    State is process-global, matching the probes: one accounting domain
+    per process, reset explicitly between measurements. *)
+
+type category =
+  | Dispatch  (** engine event dispatch (everything under [Engine.step]) *)
+  | Routing  (** longest-prefix-match lookups *)
+  | Checksum  (** full one's-complement (re)computations *)
+  | Encap  (** tunnel encapsulation *)
+  | Decap  (** tunnel decapsulation *)
+  | Agent  (** mobility-agent packet hooks (intercept / route override) *)
+  | Trace_emit  (** trace-record construction, logging and fan-out *)
+
+val all : category list
+val label : category -> string
+(** Stable human/JSON name, e.g. ["routing-lookup"]. *)
+
+val set_enabled : bool -> unit
+(** Turn accounting on or off (default off).  Turning it off also clears
+    any spans left open by a probe interrupted mid-flight. *)
+
+val on : unit -> bool
+
+val enabled : bool ref
+(** The flag behind {!on}/{!set_enabled}, exposed read-only by
+    convention: probe sites hot enough that even a no-op call is
+    measurable guard their [enter]/[leave] pair behind [!enabled]
+    themselves.  Mutate it only through {!set_enabled}. *)
+
+val enter : category -> unit
+val leave : category -> unit
+(** Bracket a span.  Calls must nest; an unmatched [leave] is ignored.
+    No-ops (one load and branch) while profiling is off. *)
+
+val span : category -> (unit -> 'a) -> 'a
+(** [span cat f] brackets [f ()] with {!enter}/{!leave}, releasing the
+    span even if [f] raises.  Allocates a closure — for warm paths; the
+    per-packet probes use inline [enter]/[leave]. *)
+
+type entry = { cat : category; calls : int; total_s : float; self_s : float }
+
+val snapshot : unit -> entry list
+(** One entry per category observed since the last {!reset}, in
+    declaration order.  [total_s] counts outermost spans only (recursion
+    is not double-counted); [self_s] excludes time spent in nested
+    categories. *)
+
+val reset : unit -> unit

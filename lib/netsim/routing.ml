@@ -126,14 +126,19 @@ let lookup_uncached t addr =
   walk t.root 0 None
 
 let lookup t addr =
-  if t.cache_valid && Ipv4_addr.equal addr t.cache_addr then t.cache_route
-  else begin
-    let r = lookup_uncached t addr in
-    t.cache_addr <- addr;
-    t.cache_route <- r;
-    t.cache_valid <- true;
-    r
-  end
+  Prof.enter Prof.Routing;
+  let r =
+    if t.cache_valid && Ipv4_addr.equal addr t.cache_addr then t.cache_route
+    else begin
+      let r = lookup_uncached t addr in
+      t.cache_addr <- addr;
+      t.cache_route <- r;
+      t.cache_valid <- true;
+      r
+    end
+  in
+  Prof.leave Prof.Routing;
+  r
 
 let routes t =
   let acc = ref [] in

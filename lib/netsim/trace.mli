@@ -73,28 +73,184 @@ val set_enabled : t -> bool -> unit
 (** Turn per-packet tracing on or off (default on).  While off {e and} no
     observer or sink is installed, {!interested} is false and the data
     plane skips building events — the per-hop fast path allocates nothing
-    for tracing.  Records written while a consumer keeps {!interested}
-    true are still logged normally. *)
+    for tracing.  Records written while an observer or sink keeps the
+    trace interested are still logged normally; attached rings keep
+    {!interested} true but do {e not} revive the unbounded log. *)
 
 val enabled : t -> bool
 
 val interested : t -> bool
 (** Whether anything wants trace events right now: the trace is enabled,
-    or an observer is installed, or the process-wide sink is.  The data
-    plane checks this before constructing an event. *)
+    or an observer, process-wide sink or fast tap is installed.  The
+    data plane checks this before constructing an event. *)
+
+(** {1 Composable taps}
+
+    Observers are per-trace, sinks are process-wide; both tee — any
+    number can be installed at once, each called with every record in
+    installation order.  The invariant oracle, the flight recorder,
+    [--trace-json] and [--pcap] all coexist.  A tap must not call back
+    into the trace it is observing. *)
+
+type observer
+(** Handle for one installed per-trace tap. *)
+
+type sink
+(** Handle for one installed process-wide tap. *)
+
+val add_observer : t -> (record -> unit) -> observer
+(** Install a tap called with every record written to {e this} trace —
+    how the {!Invariant} oracle (and a per-run flight recorder) watches a
+    run without disturbing the process-wide sinks. *)
+
+val remove_observer : t -> observer -> unit
+(** Removing twice, or removing a never-installed handle, is a no-op. *)
+
+val add_sink : (record -> unit) -> sink
+(** Install a tap receiving every record from {e every} trace as it is
+    written — the hook behind the CLI's [--trace-json] and [--pcap]
+    streaming exports, which observe worlds built deep inside experiment
+    runners. *)
+
+val remove_sink : sink -> unit
 
 val set_observer : t -> (record -> unit) option -> unit
-(** Install (or clear) a per-trace tap called with every record as it is
-    written to {e this} trace — how the {!Invariant} oracle watches a run
-    without disturbing the process-wide {!set_sink} used for JSONL export.
-    The observer must not call back into the trace.  One observer per
-    trace. *)
+(** Single-slot facade over {!add_observer}: installs the tap, replacing
+    whatever the previous [set_observer] installed; [None] clears it.
+    Taps installed with {!add_observer} are untouched. *)
 
 val set_sink : (record -> unit) option -> unit
-(** Install (or clear) a process-wide tap receiving every record from
-    {e every} trace as it is written — the hook behind the CLI's
-    [--trace-json] streaming export.  The sink must not call back into the
-    trace it is observing.  Exactly one sink can be active at a time. *)
+(** Single-slot facade over {!add_sink} with the same replace-in-place
+    semantics; sinks installed with {!add_sink} are untouched. *)
+
+(** {1 Flight-recorder rings}
+
+    Observers and sinks receive allocated {!record} values, so any one
+    of them forces the data plane to build the frame/event/record graph
+    for every traced event.  A {e ring} is a preallocated fixed-capacity
+    last-K event store fed field-by-field: when rings are the only
+    consumers, the specialised [emit_*] entry points below write slot
+    arrays straight from the emit site and allocate nothing.  This is
+    what lets the flight recorder stay attached during capacity runs at
+    a few percent of throughput.  An attached ring sees every event
+    exactly once regardless of which path it took — events routed
+    through {!record} (full consumers attached, or event kinds with no
+    [emit_*] helper) are replayed into rings by destructuring.
+
+    This is the storage primitive behind [Netobs.Recorder], which adds
+    the user-facing capture API (install, tail, JSONL/pcap dumps). *)
+
+type ring
+
+val make_ring : ?sample_every:int -> ?seed:int -> capacity:int -> unit -> ring
+(** A ring holding the last [capacity] events.  [sample_every] (default
+    1 — keep everything) records roughly one flow in N, decided by a
+    deterministic hash of [(flow, seed)] so sampled captures keep whole
+    conversations and replay identically; [seed] (default 0) varies
+    which flows are kept.
+    @raise Invalid_argument unless [capacity] and [sample_every] are
+    positive. *)
+
+val attach_ring : ring -> unit
+(** Attach process-wide (idempotent); composes with observers and sinks
+    like {!add_sink} does. *)
+
+val detach_ring : ring -> unit
+(** Detaching a never-attached ring is a no-op. *)
+
+val ring_attached : ring -> bool
+
+val ring_store :
+  ring ->
+  float ->
+  int ->
+  string ->
+  string ->
+  string ->
+  drop_reason ->
+  int ->
+  int ->
+  Ipv4_packet.t ->
+  int ->
+  unit
+(** [ring_store rg time kind name in_iface out_iface reason id flow pkt
+    bytes] offers one event to the ring: the sampling decision, then the
+    slot stores.  [kind] is one of the [k_*] tags below; [name] is the
+    node name, or the link name for {!k_transmit}; arguments that do not
+    apply to a kind are [""] / a placeholder reason / [0]. *)
+
+val ring_store_record : ring -> record -> unit
+(** {!ring_store} of a record's fields — for feeding a ring from an
+    observer or sink. *)
+
+val ring_records : ring -> record list
+(** Rebuild the ring's contents as structurally identical records,
+    oldest first — at most [capacity] of them.  Cold path. *)
+
+val ring_sampled : ring -> int -> bool
+(** Whether a flow id passes the ring's sampling filter. *)
+
+val ring_capacity : ring -> int
+val ring_seen : ring -> int
+(** Events offered, sampled-out ones included. *)
+
+val ring_kept : ring -> int
+(** Events that passed sampling and entered the ring (cumulative). *)
+
+val ring_length : ring -> int
+(** Events currently held: [min kept capacity]. *)
+
+val ring_clear : ring -> unit
+
+(** Kind tags used by {!ring_store}, numbered in declaration order of
+    {!event}. *)
+
+val k_send : int
+
+val k_transmit : int
+val k_forward : int
+val k_drop : int
+val k_deliver : int
+val k_encapsulate : int
+val k_decapsulate : int
+val k_icmp_error : int
+
+val set_time_source : t -> floatarray -> unit
+(** Point the trace at the one-element cell its [emit_*] fast paths read
+    the current time from ({!Engine.clock_cell} of the owning net's
+    engine).  Until set, emits are stamped 0.0 — every real trace gets
+    wired by [Net.make].  The trace never writes the cell. *)
+
+val emit_send : t -> node:string -> id:int -> flow:int -> pkt:Ipv4_packet.t -> unit
+(** [emit_send] .. [emit_deliver] are equivalent to {!record} with the
+    corresponding event (stamped from the {!set_time_source} cell) but
+    are self-gated: they skip event construction entirely when only
+    rings are interested, and do nothing at all when nothing is.  The
+    data plane uses them unguarded for its hottest events; other call
+    sites keep using {!record}. *)
+
+val emit_transmit :
+  t -> link:string -> id:int -> flow:int -> pkt:Ipv4_packet.t -> bytes:int -> unit
+
+val emit_forward :
+  t ->
+  node:string ->
+  in_iface:string ->
+  out_iface:string ->
+  id:int ->
+  flow:int ->
+  pkt:Ipv4_packet.t ->
+  unit
+
+val emit_deliver : t -> node:string -> id:int -> flow:int -> pkt:Ipv4_packet.t -> unit
+
+val emit_encapsulate :
+  t -> node:string -> id:int -> flow:int -> pkt:Ipv4_packet.t -> unit
+
+val emit_decapsulate :
+  t -> node:string -> id:int -> flow:int -> pkt:Ipv4_packet.t -> unit
+(** Tunnel encap/decap on the same allocation-free fast path — on a
+    roamed topology these fire for every tunneled packet. *)
 
 (** {1 Flow queries}
 

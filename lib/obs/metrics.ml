@@ -125,6 +125,40 @@ let view_of_histogram h =
     maximum = (if h.h_count = 0 then 0.0 else h.h_max);
   }
 
+(* Bucket-interpolated percentile: walk the cumulative counts to the
+   bucket holding the target rank, then interpolate linearly inside it.
+   The first bucket's lower edge is the observed minimum, and the
+   overflow bucket's upper edge the observed maximum, so estimates never
+   leave the observed range — and with all mass in one bucket the
+   interpolation spans [min, max] instead of inventing bound-width
+   precision the histogram does not have. *)
+let percentile (h : hist_view) p =
+  if h.count = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let target = p /. 100.0 *. float_of_int h.count in
+    let nb = Array.length h.buckets in
+    let clamp v = Float.max h.minimum (Float.min h.maximum v) in
+    let interp ~lower ~upper ~cum ~n =
+      if n = 0 then clamp upper
+      else
+        clamp
+          (lower
+          +. (upper -. lower)
+             *. ((target -. float_of_int cum) /. float_of_int n))
+    in
+    let rec walk i cum lower =
+      if i >= nb then
+        interp ~lower ~upper:h.maximum ~cum ~n:h.overflow
+      else
+        let bound, n = h.buckets.(i) in
+        if float_of_int (cum + n) >= target && n > 0 then
+          interp ~lower ~upper:bound ~cum ~n
+        else walk (i + 1) (cum + n) (if n > 0 then bound else lower)
+    in
+    walk 0 0 h.minimum
+  end
+
 let snapshot reg =
   Hashtbl.fold
     (fun name (help, m) acc ->
@@ -154,9 +188,11 @@ let pp_snapshot fmt samples =
       | Gauge v -> Format.fprintf fmt "  %-48s %-10s %g@." s.name "gauge" v
       | Histogram h ->
           Format.fprintf fmt
-            "  %-48s %-10s count=%d sum=%g min=%g max=%g mean=%g@." s.name
-            "histogram" h.count h.sum h.minimum h.maximum
-            (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count);
+            "  %-48s %-10s count=%d sum=%g min=%g max=%g mean=%g p50=%g \
+             p90=%g p99=%g@."
+            s.name "histogram" h.count h.sum h.minimum h.maximum
+            (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count)
+            (percentile h 50.0) (percentile h 90.0) (percentile h 99.0);
           Format.fprintf fmt "  %-48s   buckets:" "";
           Array.iter
             (fun (b, n) -> Format.fprintf fmt " <=%g:%d" b n)
@@ -194,6 +230,9 @@ let snapshot_to_json samples =
                        ("sum", Json.Float h.sum);
                        ("min", Json.Float h.minimum);
                        ("max", Json.Float h.maximum);
+                       ("p50", Json.Float (percentile h 50.0));
+                       ("p90", Json.Float (percentile h 90.0));
+                       ("p99", Json.Float (percentile h 99.0));
                        ( "buckets",
                          Json.List
                            (Array.to_list

@@ -57,6 +57,13 @@ type hist_view = {
 type value = Counter of int | Gauge of float | Histogram of hist_view
 type sample = { name : string; help : string; value : value }
 
+val percentile : hist_view -> float -> float
+(** [percentile h p] estimates the [p]-th percentile ([0..100], clamped)
+    by linear interpolation inside the bucket holding the target rank.
+    The first bucket's lower edge is the observed minimum and the
+    overflow bucket's upper edge the observed maximum, so estimates stay
+    within [[minimum, maximum]].  0 on an empty histogram. *)
+
 val snapshot : registry -> sample list
 (** Sorted by name. *)
 

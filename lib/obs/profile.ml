@@ -1,0 +1,47 @@
+(* Renderer for {!Netsim.Prof} snapshots: the sorted self/total table the
+   [profile] subcommand prints, plus a JSON form for machine diffing. *)
+
+open Netsim
+
+let by_self entries =
+  List.sort
+    (fun a b -> compare b.Prof.self_s a.Prof.self_s)
+    entries
+
+let pp fmt entries =
+  let entries = by_self entries in
+  let total_self =
+    List.fold_left (fun acc e -> acc +. e.Prof.self_s) 0.0 entries
+  in
+  Format.fprintf fmt "== hot-path profile (%d categories) ==@."
+    (List.length entries);
+  Format.fprintf fmt "  %-18s %12s %12s %12s %7s@." "category" "calls"
+    "self ms" "total ms" "self %";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %-18s %12d %12.3f %12.3f %6.1f%%@."
+        (Prof.label e.Prof.cat) e.Prof.calls (e.Prof.self_s *. 1e3)
+        (e.Prof.total_s *. 1e3)
+        (if total_self > 0.0 then 100.0 *. e.Prof.self_s /. total_self
+         else 0.0))
+    entries;
+  Format.fprintf fmt "  %-18s %12s %12.3f@." "(sum of self)" ""
+    (total_self *. 1e3)
+
+let to_json entries =
+  let entries = by_self entries in
+  Json.Obj
+    [
+      ( "profile",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("category", Json.String (Prof.label e.Prof.cat));
+                   ("calls", Json.Int e.Prof.calls);
+                   ("self_s", Json.Float e.Prof.self_s);
+                   ("total_s", Json.Float e.Prof.total_s);
+                 ])
+             entries) );
+    ]

@@ -1,10 +1,49 @@
 open Netsim
 
-type t = { world : Topo.t; inv : Invariant.t }
+type t = {
+  world : Topo.t;
+  inv : Invariant.t;
+  mutable recorder : Netobs.Recorder.t option;
+  mutable recorder_handle : Trace.observer option;
+  mutable tail : Trace.record list;
+      (* snapshot of the recorder at the first violation: the last-K
+         events leading up to the failure, frozen before the run moves
+         on and the ring wraps past them *)
+}
 
-let create world = { world; inv = Invariant.create world.Topo.net }
+let create world =
+  {
+    world;
+    inv = Invariant.create world.Topo.net;
+    recorder = None;
+    recorder_handle = None;
+    tail = [];
+  }
+
 let world t = t.world
 let inv t = t.inv
+
+let attach_recorder ?(capacity = 512) ?sample_every ?seed ?last t =
+  if t.recorder = None then begin
+    let r = Netobs.Recorder.create ?sample_every ?seed ~capacity () in
+    t.recorder <- Some r;
+    t.recorder_handle <-
+      Some
+        (Trace.add_observer (Net.trace t.world.Topo.net)
+           (Netobs.Recorder.note r));
+    Invariant.set_on_violation t.inv
+      (Some (fun _ -> if t.tail = [] then t.tail <- Netobs.Recorder.tail ?last r))
+  end
+
+let recorder_tail t = t.tail
+
+let detach_recorder t =
+  (match t.recorder_handle with
+  | Some h ->
+      t.recorder_handle <- None;
+      Trace.remove_observer (Net.trace t.world.Topo.net) h
+  | None -> ());
+  Invariant.set_on_violation t.inv None
 
 let add_binding_lifetime ?(grace = 45.0) t =
   let w = t.world in
@@ -221,6 +260,16 @@ let install_standard ?recovery_after t =
 
 let start ?interval ?ticks t = Invariant.start t.inv ?interval ?ticks ()
 let check_now t = Invariant.check_now t.inv
-let finish t = Invariant.finish t.inv
+
+let finish t =
+  Invariant.finish t.inv;
+  (* A run that ends violated without the callback having fired a useful
+     snapshot (or with violations only found by the final checks) still
+     gets whatever the ring holds now. *)
+  (match t.recorder with
+  | Some r when Invariant.violated t.inv && t.tail = [] ->
+      t.tail <- Netobs.Recorder.tail r
+  | _ -> ());
+  detach_recorder t
 let violations t = Invariant.violations t.inv
 let violated t = Invariant.violated t.inv

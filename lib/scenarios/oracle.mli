@@ -86,6 +86,23 @@ val install_standard : ?recovery_after:float -> t -> unit
     given.  (TCP stream monitors need a connection, so they are always
     explicit.) *)
 
+(** {1 Flight recorder} *)
+
+val attach_recorder :
+  ?capacity:int -> ?sample_every:int -> ?seed:int -> ?last:int -> t -> unit
+(** Attach a {!Netobs.Recorder} (default capacity 512, no sampling) as an
+    observer on the world's trace.  At the {e first} invariant violation
+    the recorder's newest [last] events (default: the whole ring) are
+    snapshotted — the events leading up to the failure, frozen before the
+    ring wraps past them — and exposed through {!recorder_tail}.
+    Idempotent; {!finish} detaches the recorder (and, if the run ended
+    violated before the snapshot fired, grabs the final ring contents
+    instead). *)
+
+val recorder_tail : t -> Netsim.Trace.record list
+(** The snapshot captured at the first violation, oldest first; [[]] when
+    no recorder was attached or nothing was violated. *)
+
 (** {1 Running} — thin wrappers over {!Netsim.Invariant}. *)
 
 val start : ?interval:float -> ?ticks:int -> t -> unit

@@ -1,0 +1,383 @@
+(* The flight recorder, the pcap exporter, the composable trace taps, the
+   bucket-interpolated histogram percentiles and the hot-path profiler —
+   the observability additions that ride on top of the trace tee. *)
+
+open Netsim
+
+let addr = Ipv4_addr.of_string
+
+(* ---------- synthetic trace material ---------- *)
+
+let mk_pkt ?(len = 32) i =
+  Ipv4_packet.make ~protocol:Ipv4_packet.P_udp
+    ~src:(addr "10.0.1.1") ~dst:(addr "10.0.2.2")
+    (Ipv4_packet.Udp
+       (Udp_wire.make ~src_port:(4000 + i) ~dst_port:9 (Bytes.make len 'p')))
+
+let transmit ?(flow = 0) ?(time = 0.0) i =
+  {
+    Trace.time;
+    event =
+      Trace.Transmit
+        {
+          link = "a-b";
+          frame = { Trace.id = i; flow; pkt = mk_pkt i };
+          bytes = 32;
+        };
+  }
+
+let deliver ?(flow = 0) ?(time = 0.0) i =
+  {
+    Trace.time;
+    event =
+      Trace.Deliver { node = "b"; frame = { Trace.id = i; flow; pkt = mk_pkt i } };
+  }
+
+(* ---------- recorder ring ---------- *)
+
+let ids t =
+  List.map
+    (fun r -> (Trace.frame_of r.Trace.event).Trace.id)
+    (Netobs.Recorder.records t)
+
+let test_ring_basics () =
+  let r = Netobs.Recorder.create ~capacity:4 () in
+  Alcotest.(check (list int)) "empty" [] (ids r);
+  List.iter (fun i -> Netobs.Recorder.note r (transmit i)) [ 0; 1; 2 ];
+  Alcotest.(check (list int)) "partial fill keeps order" [ 0; 1; 2 ] (ids r);
+  List.iter (fun i -> Netobs.Recorder.note r (transmit i)) [ 3; 4; 5 ];
+  Alcotest.(check (list int)) "wraps to the most recent" [ 2; 3; 4; 5 ] (ids r);
+  Alcotest.(check int) "seen counts everything" 6 (Netobs.Recorder.seen r);
+  Alcotest.(check int) "kept counts stores" 6 (Netobs.Recorder.kept r);
+  Alcotest.(check int) "length is capped" 4 (Netobs.Recorder.length r);
+  Alcotest.(check (list int))
+    "tail takes the last k" [ 4; 5 ]
+    (List.map
+       (fun r -> (Trace.frame_of r.Trace.event).Trace.id)
+       (Netobs.Recorder.tail ~last:2 r));
+  Netobs.Recorder.clear r;
+  Alcotest.(check (list int)) "clear empties" [] (ids r)
+
+let test_ring_sampling () =
+  let r = Netobs.Recorder.create ~sample_every:3 ~seed:7 ~capacity:64 () in
+  for i = 0 to 99 do
+    Netobs.Recorder.note r (transmit ~flow:(i mod 10) i)
+  done;
+  (* whole flows are in or out: every surviving record's flow passes the
+     same predicate [sampled] exposes *)
+  Alcotest.(check bool)
+    "kept records come from sampled flows only" true
+    (List.for_all
+       (fun rec_ ->
+         Netobs.Recorder.sampled r (Trace.frame_of rec_.Trace.event).Trace.flow)
+       (Netobs.Recorder.records r));
+  Alcotest.(check bool)
+    "sampling dropped something" true
+    (Netobs.Recorder.kept r < Netobs.Recorder.seen r)
+
+let prop_ring_wraparound =
+  QCheck.Test.make ~name:"ring keeps exactly the last capacity records"
+    ~count:200
+    QCheck.(pair (1 -- 20) (list_of_size Gen.(0 -- 60) (0 -- 1000)))
+    (fun (capacity, xs) ->
+      let r = Netobs.Recorder.create ~capacity () in
+      List.iteri (fun i _ -> Netobs.Recorder.note r (transmit i)) xs;
+      let n = List.length xs in
+      let expect = List.init (min n capacity) (fun i -> n - min n capacity + i) in
+      ids r = expect)
+
+let prop_sampling_deterministic =
+  QCheck.Test.make ~name:"flow sampling is a pure function of (flow, seed)"
+    ~count:200
+    QCheck.(pair (0 -- 1_000_000) (0 -- 1_000_000))
+    (fun (seed, flow) ->
+      let a = Netobs.Recorder.create ~sample_every:4 ~seed ~capacity:1 () in
+      let b = Netobs.Recorder.create ~sample_every:4 ~seed ~capacity:1 () in
+      Netobs.Recorder.sampled a flow = Netobs.Recorder.sampled b flow)
+
+(* ---------- trace tee ---------- *)
+
+let test_tee_identity () =
+  let seen_a = ref [] and seen_b = ref [] in
+  let a = Trace.add_sink (fun r -> seen_a := r :: !seen_a) in
+  let b = Trace.add_sink (fun r -> seen_b := r :: !seen_b) in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.remove_sink a;
+      Trace.remove_sink b)
+    (fun () ->
+      let t = Trace.create () in
+      Trace.set_enabled t false;
+      Alcotest.(check bool)
+        "sinks keep a disabled trace interested" true (Trace.interested t);
+      Trace.record t ~time:0.5 (transmit 1).Trace.event;
+      Trace.record t ~time:0.75 (deliver 1).Trace.event;
+      Alcotest.(check int) "first sink saw both" 2 (List.length !seen_a);
+      Alcotest.(check bool)
+        "both sinks saw the identical records" true (!seen_a = !seen_b));
+  (* after removal the tee no longer forces interest *)
+  let t = Trace.create () in
+  Trace.set_enabled t false;
+  Alcotest.(check bool)
+    "uninterested once sinks are gone" false (Trace.interested t)
+
+let test_tee_with_legacy_slot () =
+  let tee = ref 0 and legacy = ref 0 in
+  let h = Trace.add_sink (fun _ -> incr tee) in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.remove_sink h;
+      Trace.set_sink None)
+    (fun () ->
+      Trace.set_sink (Some (fun _ -> incr legacy));
+      let t = Trace.create () in
+      Trace.record t ~time:0.0 (transmit 1).Trace.event;
+      (* replacing the legacy slot must not disturb the tee sink *)
+      Trace.set_sink (Some (fun _ -> legacy := !legacy + 10));
+      Trace.record t ~time:0.0 (transmit 2).Trace.event;
+      Alcotest.(check int) "tee saw every record" 2 !tee;
+      Alcotest.(check int) "legacy slot was replaced in place" 11 !legacy)
+
+let test_recorder_as_sink () =
+  let r = Netobs.Recorder.create ~capacity:8 () in
+  Netobs.Recorder.install r;
+  Fun.protect
+    ~finally:(fun () -> Netobs.Recorder.uninstall r)
+    (fun () ->
+      Netobs.Recorder.install r;
+      (* idempotent *)
+      let t = Trace.create () in
+      Trace.record t ~time:1.0 (transmit 3).Trace.event;
+      Alcotest.(check (list int)) "ring captured via the tee" [ 3 ] (ids r));
+  let t = Trace.create () in
+  Trace.record t ~time:2.0 (transmit 4).Trace.event;
+  Alcotest.(check (list int)) "uninstall detaches" [ 3 ] (ids r)
+
+(* ---------- pcap ---------- *)
+
+let test_pcap_golden_bytes () =
+  let hex b =
+    String.concat "" (List.map (Printf.sprintf "%02x") (List.map Char.code (List.of_seq (Bytes.to_seq b))))
+  in
+  Alcotest.(check string)
+    "file header, byte for byte"
+    "d4c3b2a1020004000000000000000000ffff000065000000"
+    (hex (Netobs.Pcap.file_header ()));
+  Alcotest.(check string)
+    "record header for t=1.000002s len=5"
+    "01000000020000000500000005000000"
+    (hex (Netobs.Pcap.record_header ~time:1.000002 ~len:5));
+  (* microsecond rounding carries into the seconds field *)
+  Alcotest.(check string)
+    "usec rounding carry at .9999996"
+    "02000000000000000100000001000000"
+    (hex (Netobs.Pcap.record_header ~time:1.9999996 ~len:1))
+
+let test_pcap_roundtrip () =
+  let records =
+    [
+      transmit ~flow:1 ~time:0.001 0;
+      deliver ~flow:1 ~time:0.002 0;
+      (* not a wire event: skipped *)
+      transmit ~flow:2 ~time:1.5 1;
+      transmit ~flow:1 ~time:2.25 2;
+    ]
+  in
+  let path = Filename.temp_file "m4x4pcap" ".pcap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let written = Netobs.Pcap.write_file path records in
+      Alcotest.(check int) "only Transmit events become packets" 3 written;
+      let packets =
+        match Netobs.Pcap.read_file path with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "reader rejected our own file: %s" e
+      in
+      let expected = List.filter_map Netobs.Pcap.packet_of_record records in
+      Alcotest.(check int) "reader finds every packet" 3 (List.length packets);
+      List.iter2
+        (fun (t_got, payload_got) (t_want, payload_want) ->
+          Alcotest.(check bool)
+            "payload round-trips byte for byte" true
+            (Bytes.equal payload_got payload_want);
+          Alcotest.(check (float 1e-6)) "timestamp survives" t_want t_got)
+        packets expected;
+      (* and the file is bit-identical when rewritten from what was read *)
+      let path2 = Filename.temp_file "m4x4pcap" ".pcap" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path2)
+        (fun () ->
+          let oc = open_out_bin path2 in
+          Netobs.Pcap.write_header oc;
+          List.iter
+            (fun (time, payload) -> Netobs.Pcap.append_packet oc ~time payload)
+            packets;
+          close_out oc;
+          let slurp p = In_channel.with_open_bin p In_channel.input_all in
+          Alcotest.(check string)
+            "whole file byte-identical through read/rewrite" (slurp path)
+            (slurp path2)))
+
+let test_pcap_reader_rejects () =
+  let reject name bytes =
+    let path = Filename.temp_file "m4x4bad" ".pcap" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        output_bytes oc bytes;
+        close_out oc;
+        match Netobs.Pcap.read_file path with
+        | Ok _ -> Alcotest.failf "%s accepted" name
+        | Error _ -> ())
+  in
+  reject "truncated header" (Bytes.make 10 '\000');
+  reject "bad magic" (Bytes.make 24 '\000');
+  let wrong_linktype = Netobs.Pcap.file_header () in
+  Bytes.set_int32_le wrong_linktype 20 1l;
+  reject "wrong linktype" wrong_linktype;
+  let truncated_record =
+    Bytes.cat
+      (Netobs.Pcap.file_header ())
+      (Netobs.Pcap.record_header ~time:0.0 ~len:100)
+  in
+  reject "truncated record" truncated_record
+
+(* ---------- histogram percentiles ---------- *)
+
+let view_of reg name =
+  match
+    List.find_opt
+      (fun s -> s.Netobs.Metrics.name = name)
+      (Netobs.Metrics.snapshot reg)
+  with
+  | Some { Netobs.Metrics.value = Netobs.Metrics.Histogram h; _ } -> h
+  | _ -> Alcotest.failf "histogram %s not in snapshot" name
+
+let test_percentiles () =
+  let reg = Netobs.Metrics.create () in
+  let h =
+    Netobs.Metrics.histogram reg ~buckets:[| 10.0; 20.0; 30.0; 40.0 |] "lat"
+  in
+  (* 40 observations spread evenly, 10 per bucket *)
+  for i = 0 to 39 do
+    Netobs.Metrics.observe h (float_of_int i +. 0.5)
+  done;
+  let v = view_of reg "lat" in
+  let p q = Netobs.Metrics.percentile v q in
+  Alcotest.(check (float 1.0)) "p50 lands mid-range" 20.0 (p 50.0);
+  Alcotest.(check (float 1.0)) "p90 in the last bucket" 36.0 (p 90.0);
+  Alcotest.(check bool) "p99 below the maximum" true (p 99.0 <= 39.5);
+  Alcotest.(check (float 0.0)) "p0 is the minimum" 0.5 (p 0.0);
+  Alcotest.(check (float 0.0)) "p100 is the maximum" 39.5 (p 100.0);
+  Alcotest.(check bool) "monotone in p" true (p 50.0 <= p 90.0 && p 90.0 <= p 99.0)
+
+let test_percentile_single_value () =
+  let reg = Netobs.Metrics.create () in
+  let h = Netobs.Metrics.histogram reg ~buckets:[| 1.0; 100.0 |] "one" in
+  Netobs.Metrics.observe h 42.0;
+  let v = view_of reg "one" in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%g collapses to the value" q)
+        42.0
+        (Netobs.Metrics.percentile v q))
+    [ 0.0; 50.0; 99.0; 100.0 ]
+
+let test_percentile_overflow_bucket () =
+  let reg = Netobs.Metrics.create () in
+  let h = Netobs.Metrics.histogram reg ~buckets:[| 1.0 |] "ovf" in
+  List.iter (Netobs.Metrics.observe h) [ 0.5; 50.0; 100.0 ];
+  let v = view_of reg "ovf" in
+  Alcotest.(check bool)
+    "p99 interpolates into the overflow bucket, clamped to max" true
+    (let p = Netobs.Metrics.percentile v 99.0 in
+     p > 1.0 && p <= 100.0)
+
+(* ---------- hot-path profiler ---------- *)
+
+let test_profiler_spans () =
+  Prof.reset ();
+  Prof.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Prof.set_enabled false;
+      Prof.reset ())
+    (fun () ->
+      Prof.span Prof.Dispatch (fun () ->
+          Prof.span Prof.Routing (fun () -> ());
+          Prof.span Prof.Routing (fun () -> ()));
+      let entries = Prof.snapshot () in
+      let find cat =
+        List.find_opt (fun e -> e.Prof.cat = cat) entries
+      in
+      (match find Prof.Dispatch with
+      | Some e ->
+          Alcotest.(check int) "one dispatch span" 1 e.Prof.calls;
+          Alcotest.(check bool)
+            "self never exceeds total" true
+            (e.Prof.self_s <= e.Prof.total_s +. 1e-9)
+      | None -> Alcotest.fail "dispatch span not recorded");
+      (match find Prof.Routing with
+      | Some e -> Alcotest.(check int) "nested spans counted" 2 e.Prof.calls
+      | None -> Alcotest.fail "routing span not recorded");
+      (* an unmatched leave must not corrupt the stack *)
+      Prof.leave Prof.Checksum;
+      Prof.span Prof.Checksum (fun () -> ());
+      match find Prof.Dispatch with
+      | Some e -> Alcotest.(check int) "stack intact" 1 e.Prof.calls
+      | None -> Alcotest.fail "dispatch entry vanished")
+
+let test_profiler_off_is_empty () =
+  Prof.reset ();
+  Prof.set_enabled false;
+  Prof.span Prof.Dispatch (fun () -> ());
+  Prof.enter Prof.Routing;
+  Prof.leave Prof.Routing;
+  Alcotest.(check int) "disabled profiler records nothing" 0
+    (List.length (Prof.snapshot ()))
+
+let test_profiler_exception_unwinds () =
+  Prof.reset ();
+  Prof.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Prof.set_enabled false;
+      Prof.reset ())
+    (fun () ->
+      (try Prof.span Prof.Encap (fun () -> failwith "boom") with
+      | Failure _ -> ());
+      match Prof.snapshot () with
+      | [ e ] ->
+          Alcotest.(check int) "span completed via protect" 1 e.Prof.calls
+      | l -> Alcotest.failf "expected one entry, got %d" (List.length l))
+
+let suites =
+  [
+    ( "recorder",
+      [
+        Alcotest.test_case "ring basics" `Quick test_ring_basics;
+        Alcotest.test_case "ring flow sampling" `Quick test_ring_sampling;
+        QCheck_alcotest.to_alcotest prop_ring_wraparound;
+        QCheck_alcotest.to_alcotest prop_sampling_deterministic;
+        Alcotest.test_case "tee identity" `Quick test_tee_identity;
+        Alcotest.test_case "tee vs legacy slot" `Quick test_tee_with_legacy_slot;
+        Alcotest.test_case "recorder as tee sink" `Quick test_recorder_as_sink;
+        Alcotest.test_case "pcap golden bytes" `Quick test_pcap_golden_bytes;
+        Alcotest.test_case "pcap round trip" `Quick test_pcap_roundtrip;
+        Alcotest.test_case "pcap reader rejects junk" `Quick
+          test_pcap_reader_rejects;
+        Alcotest.test_case "histogram percentiles" `Quick test_percentiles;
+        Alcotest.test_case "percentile single value" `Quick
+          test_percentile_single_value;
+        Alcotest.test_case "percentile overflow bucket" `Quick
+          test_percentile_overflow_bucket;
+        Alcotest.test_case "profiler spans" `Quick test_profiler_spans;
+        Alcotest.test_case "profiler off is empty" `Quick
+          test_profiler_off_is_empty;
+        Alcotest.test_case "profiler exception unwind" `Quick
+          test_profiler_exception_unwinds;
+      ] );
+  ]

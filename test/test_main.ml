@@ -34,5 +34,6 @@ let () =
          Suite_auto_attach.suites;
          Suite_misc.suites;
          Suite_obs.suites;
+         Suite_recorder.suites;
          Suite_failover.suites;
        ])
