@@ -192,6 +192,63 @@ let tcp_transfer ~window () =
   Netsim.Net.run net;
   assert (!got = 8192)
 
+(* The sharded engine against the plain one on the same two-domain
+   ping-pong world: the pair keeps the merged executor's pick-loop
+   overhead visible revision over revision.  (The parallel executor is
+   benchmarked by experiment E21, not here — Domain.spawn per barrier
+   window would drown a microbenchmark quota.) *)
+let shard_proto = Netsim.Ipv4_packet.P_other 252
+
+let shard_pingpong ~shards () =
+  let net = Netsim.Net.create () in
+  Netsim.Net.set_tracing net false;
+  let a = Netsim.Net.add_host net "a" in
+  let r0 = Netsim.Net.add_router net "r0" in
+  let r1 = Netsim.Net.add_router net "r1" in
+  let b = Netsim.Net.add_host net "b" in
+  let link ?(latency = 0.0005) p (n1, i1, a1) (n2, i2, a2) =
+    ignore
+      (Netsim.Net.p2p net ~latency
+         ~prefix:(Netsim.Ipv4_addr.Prefix.of_string p)
+         (n1, i1, addr a1) (n2, i2, addr a2))
+  in
+  link "10.0.1.0/30" (a, "if0", "10.0.1.1") (r0, "if0", "10.0.1.2");
+  link ~latency:0.005 "10.0.2.0/30" (r0, "if1", "10.0.2.1")
+    (r1, "if0", "10.0.2.2");
+  link "10.0.3.0/30" (r1, "if1", "10.0.3.1") (b, "if0", "10.0.3.2");
+  Netsim.Routing.add_default (Netsim.Net.routing a) ~gateway:(addr "10.0.1.2")
+    ~iface:"if0";
+  Netsim.Routing.add_default (Netsim.Net.routing b) ~gateway:(addr "10.0.3.1")
+    ~iface:"if0";
+  Netsim.Routing.add_default (Netsim.Net.routing r0)
+    ~gateway:(addr "10.0.2.2") ~iface:"if1";
+  Netsim.Routing.add_default (Netsim.Net.routing r1)
+    ~gateway:(addr "10.0.2.1") ~iface:"if0";
+  if shards > 1 then Netsim.Net.set_shards net shards;
+  let sent = ref 1 and got = ref 0 in
+  let payload = Netsim.Ipv4_packet.Raw (Bytes.make 64 'q') in
+  let fire node ~src ~dst =
+    ignore
+      (Netsim.Net.send node
+         (Netsim.Ipv4_packet.make ~protocol:shard_proto ~src:(addr src)
+            ~dst:(addr dst) payload))
+  in
+  let handler node _ (_ : Netsim.Ipv4_packet.t) =
+    if node == b then fire b ~src:"10.0.3.2" ~dst:"10.0.1.1"
+    else begin
+      incr got;
+      if !sent < 20 then begin
+        incr sent;
+        fire a ~src:"10.0.1.1" ~dst:"10.0.3.2"
+      end
+    end
+  in
+  Netsim.Net.set_protocol_handler a shard_proto handler;
+  Netsim.Net.set_protocol_handler b shard_proto handler;
+  fire a ~src:"10.0.1.1" ~dst:"10.0.3.2";
+  Netsim.Net.run net;
+  assert (!got = 20)
+
 let micro_tests =
   Test.make_grouped ~name:"mobility4x4"
     [
@@ -228,18 +285,37 @@ let micro_tests =
       Test.make ~name:"forwarding-hop" (Staged.stage forwarding_hop);
       Test.make ~name:"forwarding-hop-recorded"
         (Staged.stage forwarding_hop_recorded);
-      Test.make ~name:"recorder-note-512B" (Staged.stage recorder_note);
-      Test.make ~name:"grid-best-cell"
-        (Staged.stage (fun () -> Mobileip.Grid.best grid_env));
-      Test.make ~name:"registration-roundtrip"
+      (* The -x64 renames retire three baselines whose fits were junk
+         (r^2 of -1.25 .. 0.25 in BENCH_results.json): at 50-400 ns/run
+         the OLS line was fit through clock-read noise.  Running the
+         subject 64x per measured run lifts the per-run time into the
+         microseconds, where the fit is sound; the gate treats the
+         renamed cases as [gone]/[new], never fatal. *)
+      Test.make ~name:"recorder-note-512B-x64"
         (Staged.stage (fun () ->
-             Mobileip.Registration.decode_request ~key:"secret" reg_wire));
+             for _ = 1 to 64 do
+               recorder_note ()
+             done));
+      Test.make ~name:"grid-best-cell-x64"
+        (Staged.stage (fun () ->
+             for _ = 1 to 64 do
+               ignore (Mobileip.Grid.best grid_env)
+             done));
+      Test.make ~name:"registration-roundtrip-x64"
+        (Staged.stage (fun () ->
+             for _ = 1 to 64 do
+               ignore (Mobileip.Registration.decode_request ~key:"secret" reg_wire)
+             done));
       Test.make ~name:"fragment-3000B-mtu576"
         (Staged.stage (fun () ->
              Netsim.Fragment.fragment ~mtu:576
                (Netsim.Ipv4_packet.make ~protocol:Netsim.Ipv4_packet.P_udp
                   ~src:(addr "1.2.3.4") ~dst:(addr "5.6.7.8")
                   (Netsim.Ipv4_packet.Raw (Bytes.make 3000 'f')))));
+      Test.make ~name:"sim-pingpong-unsharded"
+        (Staged.stage (shard_pingpong ~shards:1));
+      Test.make ~name:"sim-pingpong-2shards-merged"
+        (Staged.stage (shard_pingpong ~shards:2));
       Test.make ~name:"sim-tunnel-ping-full-world" (Staged.stage tunnel_ping);
       Test.make ~name:"sim-tcp-8KB-stop-and-wait"
         (Staged.stage (tcp_transfer ~window:1));

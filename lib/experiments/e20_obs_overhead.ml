@@ -89,7 +89,9 @@ let run_once ?record_rtt ~install () =
   let after = Engine.stats eng in
   teardown ();
   let delivered = !ch_received + !mh_received in
-  let wall = after.Engine.wall_time -. before.Engine.wall_time in
+  (* Host CPU seconds inside [Engine.run] — immune to CPU steal, unlike
+     the wall seconds [Engine.stats] also reports since the split. *)
+  let wall = after.Engine.cpu_time -. before.Engine.cpu_time in
   {
     delivered;
     expected = 2 * flows * exchanges;

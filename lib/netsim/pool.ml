@@ -1,0 +1,53 @@
+(* Per-shard byte-buffer pool: recycled payload buffers for workload
+   generators, so a sharded capacity run reuses each shard's buffers
+   instead of allocating (and promoting) a fresh payload per datagram.
+
+   Buffers are pooled by exact size in an {!Addr_map} keyed on the byte
+   length, each class a simple LIFO list.  A pool belongs to one shard
+   and is only touched by that shard's domain during a parallel window,
+   so there is no locking; cross-shard traffic releases into the
+   *receiving* shard's pool (the last domain to touch the buffer).
+
+   [release] does not zero the buffer — callers own initialisation, as
+   they would with [Bytes.create]. *)
+
+type t = {
+  classes : Bytes.t list Addr_map.t;
+  mutable live : int;  (* buffers handed out and not yet released *)
+  mutable hits : int;
+  mutable misses : int;
+  max_per_class : int;
+}
+
+let create ?(max_per_class = 256) () =
+  { classes = Addr_map.create (); live = 0; hits = 0; misses = 0; max_per_class }
+
+let alloc t size =
+  if size < 0 then invalid_arg "Pool.alloc: negative size";
+  t.live <- t.live + 1;
+  match Addr_map.find t.classes size with
+  | Some (b :: rest) ->
+      Addr_map.replace t.classes size rest;
+      t.hits <- t.hits + 1;
+      b
+  | Some [] | None ->
+      t.misses <- t.misses + 1;
+      Bytes.create size
+
+let release t b =
+  let size = Bytes.length b in
+  t.live <- t.live - 1;
+  let existing = match Addr_map.find t.classes size with
+    | Some l -> l
+    | None -> []
+  in
+  (* Bound each class so a burst cannot pin memory forever. *)
+  if List.length existing < t.max_per_class then
+    Addr_map.replace t.classes size (b :: existing)
+
+let hits t = t.hits
+let misses t = t.misses
+let live t = t.live
+
+let pooled t =
+  Addr_map.fold (fun _ l acc -> acc + List.length l) t.classes 0

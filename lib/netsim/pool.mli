@@ -1,0 +1,30 @@
+(** Per-shard byte-buffer pool.
+
+    Recycles payload buffers by exact size so capacity workloads reuse a
+    shard's buffers instead of allocating a fresh payload per datagram.
+    A pool belongs to one shard ({!Net.node_pool}) and is only touched
+    by that shard's domain, so it needs no locking; for cross-shard
+    traffic, release into the {e receiving} node's pool — the last
+    domain to touch the buffer. *)
+
+type t
+
+val create : ?max_per_class:int -> unit -> t
+(** [max_per_class] (default 256) bounds how many buffers of one size are
+    retained; excess releases are dropped to the GC. *)
+
+val alloc : t -> int -> Bytes.t
+(** A buffer of exactly the requested size, recycled when one is pooled.
+    Contents are {e not} zeroed on reuse.
+    @raise Invalid_argument on negative size. *)
+
+val release : t -> Bytes.t -> unit
+(** Return a buffer to the pool for reuse. *)
+
+val hits : t -> int
+val misses : t -> int
+val live : t -> int
+(** Buffers allocated and not yet released. *)
+
+val pooled : t -> int
+(** Buffers currently sitting in the pool. *)

@@ -52,19 +52,29 @@ let grow t entry =
     t.heap <- heap
   end
 
-let add t ~priority value =
-  let entry = { priority; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
+let add_seq t ~priority ~seq value =
+  let entry = { priority; seq; value } in
   grow t entry;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
+
+let add t ~priority value =
+  let seq = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  add_seq t ~priority ~seq value
 
 let peek t =
   if t.size = 0 then None
   else
     let e = t.heap.(0) in
     Some (e.priority, e.value)
+
+let min_key t =
+  if t.size = 0 then None
+  else
+    let e = t.heap.(0) in
+    Some (e.priority, e.seq)
 
 let pop t =
   if t.size = 0 then None

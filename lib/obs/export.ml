@@ -279,4 +279,5 @@ let json_of_engine_stats (s : Engine.stats) =
       ("truncated", Json.Int s.Engine.truncated);
       ("sim_time", Json.Float s.Engine.sim_time);
       ("wall_time", Json.Float s.Engine.wall_time);
+      ("cpu_time", Json.Float s.Engine.cpu_time);
     ]

@@ -36,4 +36,5 @@ let () =
          Suite_obs.suites;
          Suite_recorder.suites;
          Suite_failover.suites;
+         Suite_shard.suites;
        ])
